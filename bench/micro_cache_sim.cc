@@ -1,0 +1,73 @@
+// Microbenchmark: cache simulator throughput (google-benchmark).
+//
+// The experiment harness's wall-clock time is dominated by simulated memory
+// accesses; these benches track accesses/second for each cache variant so
+// regressions in the hot path are caught.
+
+#include <benchmark/benchmark.h>
+
+#include "iomodel/cache.h"
+#include "iomodel/opt_cache.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ccs::iomodel;
+
+void BM_LruSequential(benchmark::State& state) {
+  LruCache cache(CacheConfig{64 * 1024, 8});
+  Addr a = 0;
+  for (auto _ : state) {
+    cache.access(a, AccessMode::kRead);
+    a = (a + 8) % (256 * 1024);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruSequential);
+
+void BM_LruRandom(benchmark::State& state) {
+  LruCache cache(CacheConfig{64 * 1024, 8});
+  ccs::Rng rng(1);
+  for (auto _ : state) {
+    cache.access(rng.uniform(0, 1 << 22), AccessMode::kRead);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruRandom);
+
+void BM_LruHot(benchmark::State& state) {
+  // All hits: the common case when a component is resident.
+  LruCache cache(CacheConfig{64 * 1024, 8});
+  ccs::Rng rng(2);
+  for (auto _ : state) {
+    cache.access(rng.uniform(0, 32 * 1024), AccessMode::kRead);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruHot);
+
+void BM_SetAssociativeRandom(benchmark::State& state) {
+  SetAssociativeCache cache(CacheConfig{64 * 1024, 8}, 8);
+  ccs::Rng rng(3);
+  for (auto _ : state) {
+    cache.access(rng.uniform(0, 1 << 22), AccessMode::kRead);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SetAssociativeRandom);
+
+void BM_OptOffline(benchmark::State& state) {
+  ccs::Rng rng(4);
+  std::vector<BlockId> trace;
+  trace.reserve(100000);
+  for (int i = 0; i < 100000; ++i) trace.push_back(rng.uniform(0, 4096));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt_misses(trace, 512));
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_OptOffline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

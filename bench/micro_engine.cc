@@ -1,0 +1,56 @@
+// Microbenchmark: streaming engine throughput (google-benchmark).
+//
+// Firings/second of the token+cache execution engine, the inner loop of
+// every experiment. Two regimes: resident (component fits, mostly hits)
+// and thrashing (state exceeds cache, mostly misses).
+
+#include <benchmark/benchmark.h>
+
+#include "iomodel/cache.h"
+#include "runtime/engine.h"
+#include "schedule/naive.h"
+#include "sdf/min_buffer.h"
+#include "workloads/pipelines.h"
+
+namespace {
+
+using namespace ccs;
+
+void run_engine(benchmark::State& state, std::int64_t cache_words) {
+  const auto g = workloads::uniform_pipeline(16, 256);
+  const auto naive = schedule::naive_minimal_buffer_schedule(g);
+  iomodel::LruCache cache(iomodel::CacheConfig{cache_words, 8});
+  runtime::EngineOptions opts;
+  opts.per_node_attribution = false;
+  runtime::Engine engine(g, naive.buffer_caps, cache, opts);
+  std::int64_t firings = 0;
+  for (auto _ : state) {
+    engine.run(naive.period);
+    firings += static_cast<std::int64_t>(naive.period.size());
+  }
+  state.SetItemsProcessed(firings);
+}
+
+void BM_EngineResident(benchmark::State& state) { run_engine(state, 64 * 1024); }
+BENCHMARK(BM_EngineResident);
+
+void BM_EngineThrashing(benchmark::State& state) { run_engine(state, 1024); }
+BENCHMARK(BM_EngineThrashing);
+
+void BM_EngineWithAttribution(benchmark::State& state) {
+  const auto g = workloads::uniform_pipeline(16, 256);
+  const auto naive = schedule::naive_minimal_buffer_schedule(g);
+  iomodel::LruCache cache(iomodel::CacheConfig{64 * 1024, 8});
+  runtime::Engine engine(g, naive.buffer_caps, cache);  // attribution on
+  std::int64_t firings = 0;
+  for (auto _ : state) {
+    engine.run(naive.period);
+    firings += static_cast<std::int64_t>(naive.period.size());
+  }
+  state.SetItemsProcessed(firings);
+}
+BENCHMARK(BM_EngineWithAttribution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

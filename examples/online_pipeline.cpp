@@ -1,0 +1,64 @@
+// Online (dynamic) pipeline scheduling: the half-full/half-empty rule from
+// Section 3 of the paper, where no output count is fixed in advance.
+//
+//   $ ./online_pipeline [--stages=16] [--state=300] [--cache-words=1024]
+//
+// Demonstrates: the dynamic scheduler, its equivalence in cost to the static
+// batch scheduler (Section 4's "Producing an optimal dynamic schedule"), and
+// the buffer sizing that makes some component always schedulable.
+
+#include <iostream>
+
+#include "core/scheduler.h"
+#include "partition/pipeline_dp.h"
+#include "schedule/dynamic.h"
+#include "schedule/partitioned.h"
+#include "util/args.h"
+#include "util/table.h"
+#include "workloads/pipelines.h"
+
+int main(int argc, char** argv) {
+  using namespace ccs;
+  ArgParser args("online_pipeline", "static batch vs dynamic scheduling of one pipeline");
+  args.add_int("stages", 16, "pipeline length");
+  args.add_int("state", 300, "words of state per module");
+  args.add_int("cache-words", 1024, "cache size M in words");
+  args.add_int("outputs", 8192, "sink firings to simulate");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const auto g = workloads::uniform_pipeline(
+        static_cast<std::int32_t>(args.get_int("stages")), args.get_int("state"));
+    const std::int64_t m = args.get_int("cache-words");
+    const std::int64_t outputs = args.get_int("outputs");
+
+    const auto dp = partition::pipeline_optimal_partition(g, 3 * m);
+    std::cout << "pipeline: " << g << "\n"
+              << "optimal partition: " << dp.partition.num_components
+              << " segments, bandwidth " << dp.bandwidth << "\n\n";
+
+    schedule::PartitionedOptions sopts;
+    sopts.m = m;
+    const auto batch = schedule::partitioned_schedule(g, dp.partition, sopts);
+    const auto dynamic = schedule::dynamic_pipeline_schedule(g, dp.partition, m, outputs);
+
+    const iomodel::CacheConfig sim{4 * m, 8};
+    const auto r_batch = core::simulate(g, batch, sim, outputs);
+    const auto r_dyn = core::simulate(g, dynamic, sim, outputs);
+
+    Table t("static batch vs dynamic (M=" + std::to_string(m) + ", " +
+            std::to_string(outputs) + " outputs)");
+    t.set_header({"scheduler", "buffer words", "misses", "misses/output"});
+    t.set_align({Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+    t.add_row({batch.name, Table::num(batch.total_buffer_words()),
+               Table::num(r_batch.cache.misses), Table::num(r_batch.misses_per_output(), 3)});
+    t.add_row({dynamic.name, Table::num(dynamic.total_buffer_words()),
+               Table::num(r_dyn.cache.misses), Table::num(r_dyn.misses_per_output(), 3)});
+    t.print(std::cout);
+    std::cout << "\nThe dynamic schedule needs no a-priori output count yet lands within a\n"
+                 "constant factor of the batch schedule, as Section 4 predicts.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,40 @@
+#include "analysis/lower_bound.h"
+
+#include "partition/dag_exact.h"
+#include "partition/pipeline_dp.h"
+#include "sdf/gain.h"
+
+namespace ccs::analysis {
+
+PipelineBound pipeline_lower_bound(const sdf::SdfGraph& g, std::int64_t m) {
+  const auto greedy = partition::pipeline_greedy_partition(g, m);
+  const sdf::GainMap gains(g);
+  PipelineBound bound;
+  bound.segments = greedy.segments;
+  bound.witness_edges = greedy.cut_edges;
+  bound.bandwidth_term = Rational(0);
+  // Theorem 3 requires segments of state >= 2M; the accretion only closes a
+  // segment after exceeding 2M, but the final segment may be smaller when
+  // the whole tail is light -- it contributes no witness edge in that case,
+  // matching the one-cut-per-qualifying-segment construction.
+  for (const sdf::EdgeId e : greedy.cut_edges) {
+    bound.bandwidth_term += gains.edge_gain(e);
+  }
+  return bound;
+}
+
+std::optional<Rational> dag_min_bandwidth_3m(const sdf::SdfGraph& g, std::int64_t m,
+                                             std::int32_t max_exact_nodes) {
+  const std::int64_t bound = 3 * m;
+  if (g.max_state() > bound) return std::nullopt;  // no 3-bounded partition exists
+  if (g.is_pipeline()) {
+    return partition::pipeline_min_bandwidth(g, bound);
+  }
+  return partition::min_bandwidth(g, bound, max_exact_nodes);
+}
+
+double bound_misses(const Rational& bw, std::int64_t t, std::int64_t b) {
+  return static_cast<double>(t) / static_cast<double>(b) * bw.to_double();
+}
+
+}  // namespace ccs::analysis

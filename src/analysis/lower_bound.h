@@ -1,0 +1,51 @@
+// Lower bounds on cache misses (Theorems 3, 7, and 10).
+//
+// These are the other half of the paper's optimality story: *every* schedule
+// -- partitioned or not -- must incur at least Omega((T/B) * bw) misses,
+// where bw is
+//   * pipelines (Thm 3):  sum of gain(gainMin(Wi)) over disjoint segments
+//     Wi of state >= 2M (we use the Theorem 5 accretion to build them);
+//   * dags (Thm 7/10):    minBW_3(G), the bandwidth of an optimal
+//     well-ordered 3M-bounded partition (exact solver; pipelines fall back
+//     to the polynomial DP).
+// Experiments compare measured miss counts of all schedulers against these
+// values; the theory predicts measured >= const * bound, with the
+// partitioned scheduler within a constant factor above.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "partition/pipeline_greedy.h"
+#include "sdf/graph.h"
+#include "util/rational.h"
+
+namespace ccs::analysis {
+
+/// Theorem 3 witness: the segments and their gain-minimizing edges.
+struct PipelineBound {
+  Rational bandwidth_term;                      ///< sum of witness-edge gains.
+  std::vector<partition::ChainSegment> segments;  ///< the >=2M segments Wi.
+  std::vector<sdf::EdgeId> witness_edges;       ///< gainMin(Wi).
+
+  /// Misses forced by Theorem 3 for T source firings and block size B
+  /// (constant factors dropped: this is the Omega argument's leading term).
+  double misses(std::int64_t t, std::int64_t b) const {
+    return static_cast<double>(t) / static_cast<double>(b) * bandwidth_term.to_double();
+  }
+};
+
+/// Builds the Theorem 3 bound for a pipeline with cache size m.
+PipelineBound pipeline_lower_bound(const sdf::SdfGraph& g, std::int64_t m);
+
+/// Theorem 7/10 bound: minBW_3(G) (exact). For pipelines this uses the
+/// polynomial DP; for dags the exponential exact solver, returning nullopt
+/// when the graph exceeds `max_exact_nodes`.
+std::optional<Rational> dag_min_bandwidth_3m(const sdf::SdfGraph& g, std::int64_t m,
+                                             std::int32_t max_exact_nodes = 24);
+
+/// (T/B) * bw -- the common final form of all the bounds.
+double bound_misses(const Rational& bw, std::int64_t t, std::int64_t b);
+
+}  // namespace ccs::analysis

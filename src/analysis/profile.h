@@ -1,0 +1,37 @@
+// Per-component execution profiles.
+//
+// Folds the engine's per-module miss attribution through a partition to
+// show where a schedule's misses actually land: which component is hot,
+// how its misses compare to its state size, and whether the per-batch
+// accounting of Lemma 4/8 matches per-component reality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "partition/partition.h"
+#include "runtime/run_result.h"
+#include "sdf/graph.h"
+
+namespace ccs::analysis {
+
+/// One component's share of a run.
+struct ComponentProfile {
+  std::int32_t component = 0;
+  std::int64_t state_words = 0;    ///< Total module state in the component.
+  std::int32_t modules = 0;
+  std::int64_t misses = 0;         ///< Attributed misses (from node_misses).
+  double miss_share = 0.0;         ///< Fraction of all attributed misses.
+};
+
+/// Builds per-component profiles from a run's node attribution. Requires
+/// result.node_misses to be populated (EngineOptions::per_node_attribution).
+std::vector<ComponentProfile> profile_components(const sdf::SdfGraph& g,
+                                                 const partition::Partition& p,
+                                                 const runtime::RunResult& result);
+
+/// Renders profiles as an aligned text table (one line per component).
+std::string format_profiles(const std::vector<ComponentProfile>& profiles);
+
+}  // namespace ccs::analysis

@@ -1,0 +1,117 @@
+#include "iomodel/cache.h"
+
+#include <algorithm>
+
+#include "util/int_math.h"
+
+namespace ccs::iomodel {
+
+void CacheSim::access_range(Addr addr, std::int64_t count, AccessMode mode) {
+  CCS_EXPECTS(count >= 0, "negative access count");
+  for (std::int64_t i = 0; i < count; ++i) access(addr + i, mode);
+}
+
+LruCache::LruCache(const CacheConfig& config)
+    : config_(config), capacity_blocks_(config.capacity_blocks()) {
+  CCS_EXPECTS(capacity_blocks_ >= 1, "cache must hold at least one block");
+}
+
+void LruCache::access(Addr addr, AccessMode mode) {
+  CCS_EXPECTS(addr >= 0, "negative address");
+  ++stats_.accesses;
+  const BlockId block = addr / config_.block_words;
+  const auto it = map_.find(block);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (mode == AccessMode::kWrite) it->second->dirty = true;
+    return;
+  }
+  ++stats_.misses;
+  if (static_cast<std::int64_t>(lru_.size()) == capacity_blocks_) {
+    const Line& victim = lru_.back();
+    if (victim.dirty) ++stats_.writebacks;
+    map_.erase(victim.block);
+    lru_.pop_back();
+  }
+  lru_.push_front(Line{block, mode == AccessMode::kWrite});
+  map_[block] = lru_.begin();
+}
+
+void LruCache::flush() {
+  for (const Line& line : lru_) {
+    if (line.dirty) ++stats_.writebacks;
+  }
+  lru_.clear();
+  map_.clear();
+}
+
+bool LruCache::contains(Addr addr) const {
+  return map_.count(addr / config_.block_words) > 0;
+}
+
+SetAssociativeCache::SetAssociativeCache(const CacheConfig& config, std::int32_t ways)
+    : config_(config), ways_(ways) {
+  CCS_EXPECTS(ways >= 1, "need at least one way");
+  const std::int64_t blocks = config.capacity_blocks();
+  CCS_EXPECTS(blocks % ways == 0, "capacity_blocks must be divisible by ways");
+  num_sets_ = blocks / ways;
+  CCS_EXPECTS(is_pow2(num_sets_), "number of sets must be a power of two");
+  lines_.assign(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(ways_), Way{});
+}
+
+void SetAssociativeCache::access(Addr addr, AccessMode mode) {
+  CCS_EXPECTS(addr >= 0, "negative address");
+  ++stats_.accesses;
+  ++tick_;
+  const BlockId block = addr / config_.block_words;
+  const std::size_t base = set_index(block) * static_cast<std::size_t>(ways_);
+
+  Way* lru_way = &lines_[base];
+  for (std::int32_t w = 0; w < ways_; ++w) {
+    Way& way = lines_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.block == block) {
+      ++stats_.hits;
+      way.last_use = tick_;
+      if (mode == AccessMode::kWrite) way.dirty = true;
+      return;
+    }
+    if (!way.valid) {
+      lru_way = &way;  // prefer an empty way over evicting
+    } else if (lru_way->valid && way.last_use < lru_way->last_use) {
+      lru_way = &way;
+    }
+  }
+  ++stats_.misses;
+  if (lru_way->valid && lru_way->dirty) ++stats_.writebacks;
+  *lru_way = Way{block, tick_, true, mode == AccessMode::kWrite};
+}
+
+void SetAssociativeCache::flush() {
+  for (Way& way : lines_) {
+    if (way.valid && way.dirty) ++stats_.writebacks;
+    way = Way{};
+  }
+}
+
+bool SetAssociativeCache::contains(Addr addr) const {
+  const BlockId block = addr / config_.block_words;
+  const std::size_t base = set_index(block) * static_cast<std::size_t>(ways_);
+  for (std::int32_t w = 0; w < ways_; ++w) {
+    const Way& way = lines_[base + static_cast<std::size_t>(w)];
+    if (way.valid && way.block == block) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<CacheSim> make_lru(std::int64_t capacity_words, std::int64_t block_words) {
+  return std::make_unique<LruCache>(CacheConfig{capacity_words, block_words});
+}
+
+std::unique_ptr<CacheSim> make_set_associative(std::int64_t capacity_words,
+                                               std::int64_t block_words, std::int32_t ways) {
+  return std::make_unique<SetAssociativeCache>(CacheConfig{capacity_words, block_words}, ways);
+}
+
+}  // namespace ccs::iomodel

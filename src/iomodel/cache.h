@@ -1,0 +1,118 @@
+// Cache simulators for the I/O model.
+//
+// CacheSim is the interface the streaming runtime drives; implementations:
+//  * LruCache          -- fully associative LRU (the paper's analysis model;
+//                         an ideal cache in the sense of Frigo et al.)
+//  * SetAssociativeCache -- k-way set-associative LRU, for checking that the
+//                         paper's conclusions survive on realistic geometry.
+//
+// All implementations count *block transfers*: an access to an uncached
+// block is one miss; evicting a dirty block is one writeback.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "iomodel/types.h"
+
+namespace ccs::iomodel {
+
+/// Abstract word-addressed cache.
+class CacheSim {
+ public:
+  virtual ~CacheSim() = default;
+
+  /// Touches one word; loads the containing block on a miss.
+  virtual void access(Addr addr, AccessMode mode) = 0;
+
+  /// Evicts everything (dirty blocks count as writebacks). Statistics are
+  /// preserved; only contents are dropped.
+  virtual void flush() = 0;
+
+  /// True if the containing block is resident.
+  virtual bool contains(Addr addr) const = 0;
+
+  /// Cumulative transfer counters.
+  virtual const CacheStats& stats() const = 0;
+
+  /// Geometry this cache was built with.
+  virtual const CacheConfig& config() const = 0;
+
+  /// Convenience: touch `count` consecutive words starting at addr.
+  void access_range(Addr addr, std::int64_t count, AccessMode mode);
+};
+
+/// Fully associative LRU with write-back/write-allocate.
+class LruCache final : public CacheSim {
+ public:
+  explicit LruCache(const CacheConfig& config);
+
+  void access(Addr addr, AccessMode mode) override;
+  void flush() override;
+  bool contains(Addr addr) const override;
+  const CacheStats& stats() const override { return stats_; }
+  const CacheConfig& config() const override { return config_; }
+
+  /// Blocks currently resident (for tests).
+  std::int64_t resident_blocks() const {
+    return static_cast<std::int64_t>(lru_.size());
+  }
+
+ private:
+  struct Line {
+    BlockId block;
+    bool dirty;
+  };
+
+  CacheConfig config_;
+  std::int64_t capacity_blocks_;
+  CacheStats stats_;
+  std::list<Line> lru_;  // front = most recently used
+  std::unordered_map<BlockId, std::list<Line>::iterator> map_;
+};
+
+/// k-way set-associative LRU. `ways == 1` gives a direct-mapped cache.
+class SetAssociativeCache final : public CacheSim {
+ public:
+  /// Requires capacity_blocks % ways == 0 and a power-of-two set count (so
+  /// the index function is a mask, as in real hardware).
+  SetAssociativeCache(const CacheConfig& config, std::int32_t ways);
+
+  void access(Addr addr, AccessMode mode) override;
+  void flush() override;
+  bool contains(Addr addr) const override;
+  const CacheStats& stats() const override { return stats_; }
+  const CacheConfig& config() const override { return config_; }
+
+  std::int32_t ways() const noexcept { return ways_; }
+  std::int64_t sets() const noexcept { return num_sets_; }
+
+ private:
+  struct Way {
+    BlockId block = -1;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_index(BlockId block) const {
+    return static_cast<std::size_t>(block & (num_sets_ - 1));
+  }
+
+  CacheConfig config_;
+  std::int32_t ways_;
+  std::int64_t num_sets_;
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+  std::vector<Way> lines_;  // num_sets_ * ways_, row-major by set
+};
+
+/// Factory helpers.
+std::unique_ptr<CacheSim> make_lru(std::int64_t capacity_words, std::int64_t block_words);
+std::unique_ptr<CacheSim> make_set_associative(std::int64_t capacity_words,
+                                               std::int64_t block_words, std::int32_t ways);
+
+}  // namespace ccs::iomodel

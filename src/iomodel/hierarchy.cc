@@ -1,0 +1,48 @@
+#include "iomodel/hierarchy.h"
+
+#include "util/contracts.h"
+
+namespace ccs::iomodel {
+
+HierarchyCache::HierarchyCache(std::vector<std::int64_t> level_words,
+                               std::int64_t block_words)
+    : block_words_(block_words) {
+  CCS_EXPECTS(!level_words.empty(), "hierarchy needs at least one level");
+  std::int64_t prev = 0;
+  for (const std::int64_t words : level_words) {
+    CCS_EXPECTS(words > prev, "level capacities must strictly increase");
+    prev = words;
+    levels_.push_back(std::make_unique<LruCache>(CacheConfig{words, block_words}));
+  }
+}
+
+void HierarchyCache::access(Addr addr, AccessMode mode) {
+  // Probe downward until a level hits; every probed level installs the
+  // block (LruCache::access does exactly that on a miss), giving an
+  // inclusive hierarchy. Stop after the first level that already held it.
+  for (auto& level : levels_) {
+    const std::int64_t misses_before = level->stats().misses;
+    level->access(addr, mode);
+    if (level->stats().misses == misses_before) return;  // hit here
+  }
+}
+
+void HierarchyCache::flush() {
+  for (auto& level : levels_) level->flush();
+}
+
+bool HierarchyCache::contains(Addr addr) const {
+  return levels_.front()->contains(addr);
+}
+
+const CacheStats& HierarchyCache::level_stats(std::size_t level) const {
+  CCS_EXPECTS(level < levels_.size(), "level out of range");
+  return levels_[level]->stats();
+}
+
+std::int64_t HierarchyCache::level_words(std::size_t level) const {
+  CCS_EXPECTS(level < levels_.size(), "level out of range");
+  return levels_[level]->config().capacity_words;
+}
+
+}  // namespace ccs::iomodel

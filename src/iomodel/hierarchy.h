@@ -1,0 +1,51 @@
+// Multi-level cache hierarchy simulation.
+//
+// The paper analyzes a two-level hierarchy (cache + memory); Savage's
+// extension of Hong–Kung to deeper hierarchies [24] is cited as the natural
+// generalization. HierarchyCache stacks fully-associative LRU levels:
+// an access probes L1; on a miss it probes L2, and so on; the block is then
+// installed in every level above the one that hit (inclusive hierarchy).
+// Per-level stats expose where the partitioned scheduler's savings land —
+// experiment E13 shows partitioning built for the L2 size removes L2/memory
+// traffic while leaving L1 behaviour unchanged.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "iomodel/cache.h"
+
+namespace ccs::iomodel {
+
+/// Inclusive multi-level LRU hierarchy. Level 0 is the smallest/fastest.
+class HierarchyCache final : public CacheSim {
+ public:
+  /// `level_words` are capacities from L1 upward, strictly increasing; all
+  /// levels share one block size.
+  HierarchyCache(std::vector<std::int64_t> level_words, std::int64_t block_words);
+
+  void access(Addr addr, AccessMode mode) override;
+  void flush() override;
+  bool contains(Addr addr) const override;
+
+  /// CacheSim::stats() reports the *last* level (transfers from backing
+  /// memory) so the hierarchy drops into any harness expecting a two-level
+  /// model whose cost is block transfers from slow memory.
+  const CacheStats& stats() const override { return levels_.back()->stats(); }
+  const CacheConfig& config() const override { return levels_.back()->config(); }
+
+  std::size_t depth() const noexcept { return levels_.size(); }
+
+  /// Per-level counters; level 0 counts all word accesses, level i>0 only
+  /// sees accesses that missed every level below.
+  const CacheStats& level_stats(std::size_t level) const;
+
+  /// Capacity of one level, in words.
+  std::int64_t level_words(std::size_t level) const;
+
+ private:
+  std::int64_t block_words_;
+  std::vector<std::unique_ptr<LruCache>> levels_;
+};
+
+}  // namespace ccs::iomodel

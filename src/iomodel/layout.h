@@ -1,0 +1,58 @@
+// Address-space layout for simulated streaming programs.
+//
+// Module state and channel buffers live in disjoint regions of the flat
+// simulated address space. Regions are block-aligned by default so that a
+// region of s words occupies exactly ceil(s/B) blocks and no two regions
+// share a block -- matching the paper's accounting, where loading a
+// component's state costs Theta(state/B) misses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iomodel/types.h"
+
+namespace ccs::iomodel {
+
+/// A contiguous run of words in the simulated address space.
+struct Region {
+  Addr base = 0;
+  std::int64_t words = 0;
+
+  Addr end() const noexcept { return base + words; }
+  bool contains(Addr a) const noexcept { return a >= base && a < end(); }
+};
+
+/// Bump allocator over the simulated address space ("disk" is unbounded; the
+/// layout only provides disjointness and alignment).
+class MemoryLayout {
+ public:
+  explicit MemoryLayout(std::int64_t block_words);
+
+  /// Allocates `words` (possibly 0). With `block_align` (the default) the
+  /// region starts on a block boundary and no other region shares its
+  /// blocks, so an s-word region costs exactly ceil(s/B) blocks to touch --
+  /// the right model for module state. Pass false to pack the region
+  /// tightly against the previous one; small channel buffers share blocks
+  /// this way (realistic, and it keeps sum-of-minBuf footprints O(tokens)
+  /// rather than O(edges * B)).
+  Region allocate(std::int64_t words, const std::string& label, bool block_align = true);
+
+  /// Total words spanned so far (including alignment padding).
+  std::int64_t footprint() const noexcept { return cursor_; }
+
+  /// Region count.
+  std::size_t regions() const noexcept { return labels_.size(); }
+
+  /// Label of the region covering `a`, or "" if none (for diagnostics).
+  std::string label_at(Addr a) const;
+
+ private:
+  std::int64_t block_words_;
+  Addr cursor_ = 0;
+  std::vector<Region> allocated_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace ccs::iomodel

@@ -1,0 +1,25 @@
+// Belady's OPT (furthest-future-use) replacement on a recorded trace.
+//
+// OPT is offline-optimal for fetch counts, so it gives tests and experiments
+// an absolute yardstick: LRU with 2x capacity must never do worse than
+// (roughly) 2x OPT misses [Sleator & Tarjan 1985], and no schedule's miss
+// count can beat OPT on its own trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iomodel/types.h"
+
+namespace ccs::iomodel {
+
+/// Number of misses OPT incurs on `block_trace` with `capacity_blocks`
+/// resident blocks (cold start). The trace is a sequence of block ids.
+std::int64_t opt_misses(const std::vector<BlockId>& block_trace,
+                        std::int64_t capacity_blocks);
+
+/// Converts a word-address trace into a block trace for a given geometry.
+std::vector<BlockId> to_block_trace(const std::vector<Addr>& addr_trace,
+                                    std::int64_t block_words);
+
+}  // namespace ccs::iomodel

@@ -1,0 +1,35 @@
+// Access-trace recording: a CacheSim decorator that forwards to an inner
+// cache while appending every touched address to a trace. Feeds OPT
+// comparisons and debugging.
+#pragma once
+
+#include <vector>
+
+#include "iomodel/cache.h"
+
+namespace ccs::iomodel {
+
+/// Records the word-address stream while delegating to an inner cache.
+class RecordingCache final : public CacheSim {
+ public:
+  /// Does not own `inner`; it must outlive this object.
+  explicit RecordingCache(CacheSim& inner) : inner_(&inner) {}
+
+  void access(Addr addr, AccessMode mode) override {
+    trace_.push_back(addr);
+    inner_->access(addr, mode);
+  }
+  void flush() override { inner_->flush(); }
+  bool contains(Addr addr) const override { return inner_->contains(addr); }
+  const CacheStats& stats() const override { return inner_->stats(); }
+  const CacheConfig& config() const override { return inner_->config(); }
+
+  const std::vector<Addr>& trace() const noexcept { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+ private:
+  CacheSim* inner_;
+  std::vector<Addr> trace_;
+};
+
+}  // namespace ccs::iomodel

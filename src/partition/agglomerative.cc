@@ -1,0 +1,90 @@
+#include "partition/agglomerative.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "partition/dag_refine.h"
+#include "sdf/gain.h"
+#include "sdf/topology.h"
+#include "util/error.h"
+
+namespace ccs::partition {
+
+namespace {
+
+/// Dense renumbering after merges emptied some component ids.
+Partition compact(const Partition& p) {
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(p.num_components), -1);
+  std::int32_t next = 0;
+  for (const std::int32_t c : p.assignment) {
+    auto& slot = remap[static_cast<std::size_t>(c)];
+    if (slot == -1) slot = next++;
+  }
+  Partition out;
+  out.num_components = next;
+  out.assignment.reserve(p.assignment.size());
+  for (const std::int32_t c : p.assignment) {
+    out.assignment.push_back(remap[static_cast<std::size_t>(c)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Partition agglomerative_partition(const sdf::SdfGraph& g, std::int64_t state_bound) {
+  CCS_EXPECTS(state_bound > 0, "state bound must be positive");
+  if (g.max_state() > state_bound) {
+    throw Error("a module exceeds the state bound; no bounded partition exists");
+  }
+  const sdf::GainMap gains(g);
+
+  // Edges by descending gain: the most expensive traffic merges first.
+  std::vector<sdf::EdgeId> order(static_cast<std::size_t>(g.edge_count()));
+  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) order[static_cast<std::size_t>(e)] = e;
+  std::sort(order.begin(), order.end(), [&](sdf::EdgeId a, sdf::EdgeId b) {
+    if (gains.edge_gain(a) != gains.edge_gain(b)) {
+      return gains.edge_gain(b) < gains.edge_gain(a);
+    }
+    return a < b;  // deterministic tie-break
+  });
+
+  Partition cur = Partition::singletons(g);
+  std::vector<std::int64_t> state(static_cast<std::size_t>(g.node_count()));
+  for (sdf::NodeId v = 0; v < g.node_count(); ++v) {
+    state[static_cast<std::size_t>(v)] = g.node(v).state;
+  }
+
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (const sdf::EdgeId e : order) {
+      const std::int32_t a = cur.comp(g.edge(e).src);
+      const std::int32_t b = cur.comp(g.edge(e).dst);
+      if (a == b) continue;
+      if (state[static_cast<std::size_t>(a)] + state[static_cast<std::size_t>(b)] >
+          state_bound) {
+        continue;
+      }
+      // Trial merge b into a; keep only if the contraction stays acyclic.
+      Partition trial = cur;
+      for (auto& c : trial.assignment) {
+        if (c == b) c = a;
+      }
+      if (!sdf::contraction_is_acyclic(g, trial.assignment, trial.num_components)) continue;
+      state[static_cast<std::size_t>(a)] += state[static_cast<std::size_t>(b)];
+      state[static_cast<std::size_t>(b)] = 0;
+      cur = std::move(trial);
+      merged = true;
+    }
+  }
+
+  cur = compact(cur);
+  RefineOptions refine;
+  refine.state_bound = state_bound;
+  cur = refine_partition(g, cur, refine);
+  CCS_ENSURES(is_well_ordered(g, cur), "clustering must preserve well-ordering");
+  CCS_ENSURES(is_bounded(g, cur, state_bound), "clustering must respect the bound");
+  return cur;
+}
+
+}  // namespace ccs::partition

@@ -1,0 +1,33 @@
+// Agglomerative (heavy-edge clustering) partitioner.
+//
+// The paper's conclusion points at multilevel partitioners [Hendrickson &
+// Leland 95; Karypis & Kumar 98] as the practical tool for large graphs.
+// Their core idea -- contract heavy edges first so expensive traffic stays
+// inside components -- adapts to the well-ordered constraint directly:
+//
+//   start from singletons;
+//   visit edges in descending gain order;
+//   merge the endpoint components when (a) the merged state fits the
+//   bound and (b) the contracted multigraph stays acyclic;
+//   repeat until a pass commits no merge, then run FM refinement.
+//
+// Keeping the heaviest edges internal greedily minimizes the bandwidth the
+// schedule must pay (Definition 3); the acyclicity check preserves
+// schedulability (Definition 2). Complexity is O(passes * E * (V + E)) from
+// the per-merge acyclicity checks -- comfortably offline for the graph
+// sizes streaming compilers see.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition.h"
+#include "sdf/graph.h"
+
+namespace ccs::partition {
+
+/// Clustering + refinement. Throws ccs::Error if a single module exceeds
+/// `state_bound` (no bounded partition exists). The result is always a
+/// valid, well-ordered, bounded partition.
+Partition agglomerative_partition(const sdf::SdfGraph& g, std::int64_t state_bound);
+
+}  // namespace ccs::partition

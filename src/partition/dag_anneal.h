@@ -1,0 +1,37 @@
+// Simulated-annealing dag partitioner.
+//
+// The paper's conclusion points at heuristic graph partitioners [10, 14] as
+// the practical road past NP-completeness; Corollary 9 converts any
+// alpha-approximate bandwidth into an O(alpha)-competitive schedule, so
+// stronger heuristics pay off directly. Annealing explores the same move
+// space as dag_refine (single-module moves between components, plus moves
+// into fresh singletons) but accepts uphill moves with temperature-decayed
+// probability, escaping the local minima where pure descent parks.
+//
+// Determinism: all randomness comes from the caller's seed; equal seeds
+// give equal partitions.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition.h"
+#include "sdf/graph.h"
+#include "util/rng.h"
+
+namespace ccs::partition {
+
+/// Annealing knobs.
+struct AnnealOptions {
+  std::int64_t state_bound = 0;    ///< c*M; hard constraint throughout.
+  std::int32_t iterations = 20000; ///< Proposed moves.
+  double initial_temp = 1.0;       ///< In units of mean edge gain.
+  double cooling = 0.9995;         ///< Geometric decay per iteration.
+  std::uint64_t seed = 1;
+};
+
+/// Anneals from `start` (must be valid, well ordered, bounded). Returns the
+/// best valid partition seen; never worse than `start`.
+Partition anneal_partition(const sdf::SdfGraph& g, const Partition& start,
+                           const AnnealOptions& options);
+
+}  // namespace ccs::partition

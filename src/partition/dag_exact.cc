@@ -1,0 +1,156 @@
+#include "partition/dag_exact.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sdf/gain.h"
+#include "util/error.h"
+
+namespace ccs::partition {
+
+namespace {
+
+using Mask = std::uint64_t;
+
+struct DpEntry {
+  Rational cost;
+  Mask parent_ideal = 0;  // the ideal this one extends
+  bool reached = false;
+};
+
+}  // namespace
+
+std::optional<ExactResult> dag_exact_partition(const sdf::SdfGraph& g,
+                                               const ExactOptions& options) {
+  CCS_EXPECTS(options.state_bound > 0, "state bound must be positive");
+  const std::int32_t n = g.node_count();
+  if (n > options.max_nodes || n > 63) return std::nullopt;
+  if (g.max_state() > options.state_bound) {
+    throw Error("a module exceeds the state bound; no bounded partition exists");
+  }
+  const sdf::GainMap gains(g);
+
+  std::vector<Mask> preds(static_cast<std::size_t>(n), 0);
+  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) {
+    preds[static_cast<std::size_t>(g.edge(e).dst)] |= Mask{1}
+                                                      << static_cast<std::uint32_t>(
+                                                             g.edge(e).src);
+  }
+  std::vector<std::int64_t> state(static_cast<std::size_t>(n));
+  for (sdf::NodeId v = 0; v < n; ++v) state[static_cast<std::size_t>(v)] = g.node(v).state;
+
+  const Mask full = (n == 63) ? ~Mask{0} >> 1 : (Mask{1} << static_cast<std::uint32_t>(n)) - 1;
+
+  // Cost of adding component T on top of ideal S: gains of edges from S to T.
+  auto extension_cost = [&](Mask s, Mask t) {
+    Rational cost(0);
+    Mask rest = t;
+    while (rest != 0) {
+      const auto v = static_cast<sdf::NodeId>(std::countr_zero(rest));
+      rest &= rest - 1;
+      for (const sdf::EdgeId e : g.in_edges(v)) {
+        if (s & (Mask{1} << static_cast<std::uint32_t>(g.edge(e).src))) {
+          cost += gains.edge_gain(e);
+        }
+      }
+    }
+    return cost;
+  };
+
+  std::unordered_map<Mask, DpEntry> dp;
+  dp[0] = DpEntry{Rational(0), 0, true};
+  // Process ideals in increasing popcount so every predecessor is final
+  // before its extensions are generated.
+  std::vector<Mask> frontier{0};
+  std::unordered_set<Mask> queued{0};
+  std::int64_t transitions = 0;
+
+  for (std::int32_t level = 0; level <= n; ++level) {
+    std::vector<Mask> next_frontier;
+    for (const Mask s : frontier) {
+      if (std::popcount(s) != level) continue;
+      const DpEntry base = dp.at(s);
+
+      // Grow T node-by-node; every partial T with state within bound is a
+      // legal component, so each growth step both records a transition and
+      // recurses. Visited-set avoids re-walking permutations of the same T.
+      std::unordered_set<Mask> seen_t;
+      std::vector<Mask> stack{0};
+      seen_t.insert(0);
+      while (!stack.empty()) {
+        const Mask t = stack.back();
+        stack.pop_back();
+        const Mask st = s | t;
+        for (sdf::NodeId v = 0; v < n; ++v) {
+          const Mask bit = Mask{1} << static_cast<std::uint32_t>(v);
+          if (st & bit) continue;
+          if ((preds[static_cast<std::size_t>(v)] & ~st) != 0) continue;  // not available
+          const Mask t2 = t | bit;
+          if (!seen_t.insert(t2).second) continue;
+          // State bound check.
+          std::int64_t t_state = 0;
+          Mask rest = t2;
+          while (rest != 0) {
+            t_state += state[static_cast<std::size_t>(std::countr_zero(rest))];
+            rest &= rest - 1;
+          }
+          if (t_state > options.state_bound) continue;
+          stack.push_back(t2);
+
+          if (++transitions > options.max_transitions) return std::nullopt;
+          const Mask s2 = s | t2;
+          const Rational cost = base.cost + extension_cost(s, t2);
+          auto [it, inserted] = dp.try_emplace(s2, DpEntry{cost, s, true});
+          if (!inserted && cost < it->second.cost) {
+            it->second.cost = cost;
+            it->second.parent_ideal = s;
+          }
+          if (queued.insert(s2).second) next_frontier.push_back(s2);
+        }
+      }
+    }
+    // Merge: ideals of popcount level+1 .. appear in next_frontier; keep all
+    // pending ideals around until their level is processed.
+    frontier.insert(frontier.end(), next_frontier.begin(), next_frontier.end());
+    if (dp.count(full) && level == n) break;
+  }
+
+  const auto it = dp.find(full);
+  CCS_CHECK(it != dp.end(), "full ideal must be reachable (singletons always work)");
+
+  // Walk parents to recover components (in reverse peel order).
+  std::vector<std::vector<sdf::NodeId>> comps;
+  Mask cur = full;
+  while (cur != 0) {
+    const Mask parent = dp.at(cur).parent_ideal;
+    Mask t = cur & ~parent;
+    std::vector<sdf::NodeId> comp;
+    while (t != 0) {
+      comp.push_back(static_cast<sdf::NodeId>(std::countr_zero(t)));
+      t &= t - 1;
+    }
+    comps.push_back(std::move(comp));
+    cur = parent;
+  }
+  std::reverse(comps.begin(), comps.end());
+
+  ExactResult result;
+  result.partition = Partition::from_components(g, comps);
+  result.bandwidth = it->second.cost;
+  return result;
+}
+
+std::optional<Rational> min_bandwidth(const sdf::SdfGraph& g, std::int64_t state_bound,
+                                      std::int32_t max_nodes) {
+  ExactOptions options;
+  options.state_bound = state_bound;
+  options.max_nodes = max_nodes;
+  const auto result = dag_exact_partition(g, options);
+  if (!result.has_value()) return std::nullopt;
+  return result->bandwidth;
+}
+
+}  // namespace ccs::partition

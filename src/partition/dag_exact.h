@@ -1,0 +1,50 @@
+// Exact minimum-bandwidth well-ordered c-bounded partitioning.
+//
+// Finding this partition is NP-complete for general dags [Garey & Johnson,
+// ND15: Acyclic Partition], but the paper argues an exponential exact solver
+// is reasonable at compile time for small graphs -- and the lower-bound
+// experiments (Theorem 7) need the exact minBW_3(G).
+//
+// Method: dynamic programming over *ideals* (downward-closed vertex sets) of
+// the dag. A partition is well ordered iff its components can be peeled in
+// an order whose prefixes are all ideals; so
+//     dp[S] = min over ideals S' < S of dp[S'] + gain(edges from S' into S\S')
+// subject to state(S\S') <= bound. dp[V] is minBW. Transitions are
+// enumerated by growing T = S\S' one available node at a time with a
+// visited-set, which reaches exactly the sets T for which S' + T stays an
+// ideal. Complexity is exponential in the dag's width; the solver gives up
+// (returns nullopt) beyond the configured node/transition budgets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "partition/partition.h"
+#include "sdf/graph.h"
+#include "util/rational.h"
+
+namespace ccs::partition {
+
+/// Budgets for the exact search.
+struct ExactOptions {
+  std::int64_t state_bound = 0;         ///< c*M.
+  std::int32_t max_nodes = 24;          ///< Refuse larger graphs outright.
+  std::int64_t max_transitions = 5'000'000;  ///< Abort budget for DP edges.
+};
+
+/// Optimal partition and its bandwidth.
+struct ExactResult {
+  Partition partition;
+  Rational bandwidth;
+};
+
+/// Exact optimum, or nullopt when the graph exceeds the budgets. Throws
+/// ccs::Error if a single module exceeds the state bound (infeasible).
+std::optional<ExactResult> dag_exact_partition(const sdf::SdfGraph& g,
+                                               const ExactOptions& options);
+
+/// Convenience: minBW_c(G) with c*M = state_bound, or nullopt over budget.
+std::optional<Rational> min_bandwidth(const sdf::SdfGraph& g, std::int64_t state_bound,
+                                      std::int32_t max_nodes = 24);
+
+}  // namespace ccs::partition

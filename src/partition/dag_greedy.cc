@@ -1,0 +1,113 @@
+#include "partition/dag_greedy.h"
+
+#include <vector>
+
+#include "sdf/gain.h"
+#include "sdf/topology.h"
+#include "util/error.h"
+
+namespace ccs::partition {
+
+namespace {
+
+void check_feasible(const sdf::SdfGraph& g, std::int64_t state_bound) {
+  CCS_EXPECTS(state_bound > 0, "state bound must be positive");
+  if (g.max_state() > state_bound) {
+    throw Error("a module exceeds the state bound; no bounded partition exists");
+  }
+}
+
+}  // namespace
+
+Partition dag_greedy_partition(const sdf::SdfGraph& g, std::int64_t state_bound) {
+  check_feasible(g, state_bound);
+  const auto order = sdf::topological_sort(g);
+  std::vector<std::vector<sdf::NodeId>> comps;
+  comps.emplace_back();
+  std::int64_t current_state = 0;
+  for (const sdf::NodeId v : order) {
+    const std::int64_t s = g.node(v).state;
+    if (current_state + s > state_bound && !comps.back().empty()) {
+      comps.emplace_back();
+      current_state = 0;
+    }
+    comps.back().push_back(v);
+    current_state += s;
+  }
+  return Partition::from_components(g, comps);
+}
+
+Partition dag_greedy_gain_partition(const sdf::SdfGraph& g, std::int64_t state_bound) {
+  check_feasible(g, state_bound);
+  const auto order = sdf::topological_sort(g);
+  const sdf::GainMap gains(g);
+  const auto n = static_cast<std::int32_t>(order.size());
+
+  // position of each node in the topological order
+  std::vector<std::int32_t> pos(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  }
+  // cut_cost[i] = total gain of edges crossing the boundary between
+  // positions i-1 and i (i.e. from pos < i to pos >= i).
+  std::vector<Rational> cut_cost(static_cast<std::size_t>(n) + 1, Rational(0));
+  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const sdf::Edge& edge = g.edge(e);
+    const std::int32_t lo = pos[static_cast<std::size_t>(edge.src)] + 1;
+    const std::int32_t hi = pos[static_cast<std::size_t>(edge.dst)];
+    for (std::int32_t i = lo; i <= hi; ++i) {
+      cut_cost[static_cast<std::size_t>(i)] += gains.edge_gain(e);
+    }
+  }
+
+  // Pack greedily, but when the bound is hit at position i, place the actual
+  // boundary at the cheapest cut in (start, i]; the overflow re-opens there.
+  std::vector<std::int32_t> boundaries;  // segment start positions
+  boundaries.push_back(0);
+  std::int32_t start = 0;
+  std::int64_t state = 0;
+  std::vector<std::int64_t> node_state(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    node_state[static_cast<std::size_t>(i)] =
+        g.node(order[static_cast<std::size_t>(i)]).state;
+  }
+  std::vector<std::int64_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + node_state[static_cast<std::size_t>(i)];
+  }
+
+  for (std::int32_t i = 0; i < n; ++i) {
+    state += node_state[static_cast<std::size_t>(i)];
+    if (state <= state_bound) continue;
+    // Must cut somewhere in (start, i]. Choose the cheapest boundary whose
+    // trailing piece [cut, i] still fits the bound; ties keep the latest
+    // position (fullest component) so retreating never shrinks components
+    // without a strict bandwidth win.
+    std::int32_t best = i;
+    for (std::int32_t cut = i; cut > start; --cut) {
+      const std::int64_t tail =
+          prefix[static_cast<std::size_t>(i) + 1] - prefix[static_cast<std::size_t>(cut)];
+      if (tail > state_bound) break;
+      if (cut_cost[static_cast<std::size_t>(cut)] < cut_cost[static_cast<std::size_t>(best)]) {
+        best = cut;
+      }
+    }
+    boundaries.push_back(best);
+    start = best;
+    state = prefix[static_cast<std::size_t>(i) + 1] - prefix[static_cast<std::size_t>(best)];
+  }
+
+  std::vector<std::vector<sdf::NodeId>> comps;
+  for (std::size_t b = 0; b < boundaries.size(); ++b) {
+    const std::int32_t lo = boundaries[b];
+    const std::int32_t hi =
+        (b + 1 < boundaries.size()) ? boundaries[b + 1] : n;
+    std::vector<sdf::NodeId> comp;
+    for (std::int32_t i = lo; i < hi; ++i) comp.push_back(order[static_cast<std::size_t>(i)]);
+    comps.push_back(std::move(comp));
+  }
+  return Partition::from_components(g, comps);
+}
+
+}  // namespace ccs::partition

@@ -1,0 +1,32 @@
+// Greedy topological packing for general dags.
+//
+// Walks the modules in topological order and packs consecutive runs into
+// components of total state at most `state_bound`. Components are intervals
+// of a topological order, so every edge points from a component to itself or
+// a later one: the partition is well ordered by construction. Quality is
+// modest (it ignores gains); dag_refine improves it and dag_exact provides
+// the optimum for small graphs.
+//
+// A gain-aware variant breaks components preferentially at low-gain edges:
+// when a component must be closed, it retreats the boundary to the cheapest
+// cut seen since the component opened (the chain analogue of Theorem 5's
+// gain-minimizing cut, generalized to the dag's topological order).
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition.h"
+#include "sdf/graph.h"
+
+namespace ccs::partition {
+
+/// Plain first-fit packing along a topological order.
+Partition dag_greedy_partition(const sdf::SdfGraph& g, std::int64_t state_bound);
+
+/// Packing that retreats each component boundary to the position whose
+/// crossing gain is smallest (boundary cost = total gain of edges crossing
+/// that topological cut). Often substantially lower bandwidth on multirate
+/// graphs at the same asymptotic cost O(V * E).
+Partition dag_greedy_gain_partition(const sdf::SdfGraph& g, std::int64_t state_bound);
+
+}  // namespace ccs::partition

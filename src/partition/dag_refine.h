@@ -1,0 +1,35 @@
+// Move-based local refinement of dag partitions.
+//
+// FM-style hill climbing: repeatedly move a single module into a different
+// component when the move (a) keeps every component within the state bound,
+// (b) keeps the partition well ordered, and (c) strictly reduces bandwidth.
+// Empty components left behind by moves are compacted away. This is the
+// "heuristic graph partitioner" avenue the paper's conclusion points to
+// [10, 14]; Corollary 9 turns any alpha-approximate bandwidth into an
+// O(alpha)-competitive schedule, so better heuristics translate directly
+// into better schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition.h"
+#include "sdf/graph.h"
+
+namespace ccs::partition {
+
+/// Refinement knobs.
+struct RefineOptions {
+  std::int64_t state_bound = 0;   ///< c*M; components must stay within it.
+  std::int32_t max_passes = 32;   ///< Full sweeps over all modules.
+  bool allow_new_components = false;  ///< Permit splitting a module into a
+                                      ///< fresh singleton component when that
+                                      ///< lowers bandwidth.
+};
+
+/// Improves `p` in place semantics (returns the refined copy). The result is
+/// always valid: well ordered, bounded by options.state_bound, and with
+/// bandwidth <= bandwidth(p).
+Partition refine_partition(const sdf::SdfGraph& g, const Partition& p,
+                           const RefineOptions& options);
+
+}  // namespace ccs::partition

@@ -1,0 +1,71 @@
+#include "partition/dot.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ccs::partition {
+
+namespace {
+
+using sdf::Edge;
+using sdf::EdgeId;
+using sdf::NodeId;
+using sdf::SdfGraph;
+
+// Pastel fill colors cycled across components.
+constexpr const char* kPalette[] = {"#cfe2ff", "#d1e7dd", "#fff3cd", "#f8d7da",
+                                    "#e2d9f3", "#fde2ff", "#d2f4ea", "#ffe5d0"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+void write_edges(const SdfGraph& g, const Partition* p, std::ostream& os) {
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const bool cross = p != nullptr && p->comp(edge.src) != p->comp(edge.dst);
+    os << "  \"" << g.node(edge.src).name << "\" -> \"" << g.node(edge.dst).name
+       << "\" [label=\"" << edge.out_rate << ":" << edge.in_rate << "\"";
+    if (cross) os << ", penwidth=2.5, color=\"#c0392b\"";
+    os << "];\n";
+  }
+}
+
+void write_node(const SdfGraph& g, NodeId v, std::ostream& os) {
+  os << "    \"" << g.node(v).name << "\" [label=\"" << g.node(v).name << "\\n"
+     << g.node(v).state << " w\"];\n";
+}
+
+}  // namespace
+
+void write_dot(const SdfGraph& g, std::ostream& os) {
+  os << "digraph stream {\n  rankdir=LR;\n  node [shape=box, style=rounded];\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) write_node(g, v, os);
+  write_edges(g, nullptr, os);
+  os << "}\n";
+}
+
+void write_dot(const SdfGraph& g, const Partition& p, std::ostream& os) {
+  const auto problems = validate_partition(g, p);
+  if (!problems.empty()) throw Error("cannot render invalid partition: " + problems.front());
+  os << "digraph stream {\n  rankdir=LR;\n  node [shape=box, style=\"rounded,filled\"];\n";
+  const auto comps = p.components();
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    os << "  subgraph cluster_" << c << " {\n"
+       << "    label=\"V" << c << "\";\n"
+       << "    style=filled;\n"
+       << "    color=\"" << kPalette[c % kPaletteSize] << "\";\n";
+    for (const NodeId v : comps[c]) write_node(g, v, os);
+    os << "  }\n";
+  }
+  write_edges(g, &p, os);
+  os << "}\n";
+}
+
+std::string to_dot(const SdfGraph& g, const std::optional<Partition>& p) {
+  std::ostringstream os;
+  if (p.has_value()) write_dot(g, *p, os);
+  else write_dot(g, os);
+  return os.str();
+}
+
+}  // namespace ccs::partition

@@ -1,0 +1,29 @@
+// Graphviz DOT export for streaming graphs and partitions.
+//
+// Renders modules as boxes labelled "name / state", channels as edges
+// labelled "out:in", and (optionally) a partition as colored clusters with
+// cross edges drawn bold. Feed the output to `dot -Tsvg` to inspect what
+// the partitioners decided.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "partition/partition.h"
+#include "sdf/graph.h"
+
+namespace ccs::partition {
+
+/// Writes the plain graph.
+void write_dot(const sdf::SdfGraph& g, std::ostream& os);
+
+/// Writes the graph with partition clusters. The partition must be a valid
+/// cover of g (validated; throws ccs::Error otherwise).
+void write_dot(const sdf::SdfGraph& g, const Partition& p, std::ostream& os);
+
+/// Convenience: DOT text as a string (partition optional).
+std::string to_dot(const sdf::SdfGraph& g,
+                   const std::optional<Partition>& p = std::nullopt);
+
+}  // namespace ccs::partition

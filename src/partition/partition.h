@@ -1,0 +1,89 @@
+// Partition representation, metrics, and validation.
+//
+// A partition P = {V1..Vk} of the streaming dag drives the paper's two-level
+// scheduler. The properties that matter (Definitions 2-3):
+//  * well ordered  -- contracting each component yields a dag;
+//  * c-bounded     -- every component's total state is at most c*M;
+//  * bandwidth     -- sum of gains of cross edges (tokens crossing component
+//                     boundaries per source firing);
+//  * degree-limited -- O(M/B) cross edges per component (Lemma 8's extra
+//                     requirement for the dag upper bound).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdf/gain.h"
+#include "sdf/graph.h"
+#include "util/rational.h"
+
+namespace ccs::partition {
+
+/// A partition of graph nodes into components 0..num_components-1.
+struct Partition {
+  std::vector<std::int32_t> assignment;  ///< node id -> component id.
+  std::int32_t num_components = 0;
+
+  /// Builds from explicit component node lists (they must cover every node
+  /// exactly once; throws ccs::Error otherwise).
+  static Partition from_components(const sdf::SdfGraph& g,
+                                   const std::vector<std::vector<sdf::NodeId>>& comps);
+
+  /// Every node in its own component.
+  static Partition singletons(const sdf::SdfGraph& g);
+
+  /// One component holding the whole graph.
+  static Partition whole(const sdf::SdfGraph& g);
+
+  /// Component id of node v.
+  std::int32_t comp(sdf::NodeId v) const {
+    return assignment[static_cast<std::size_t>(v)];
+  }
+
+  /// Node lists per component (in node-id order).
+  std::vector<std::vector<sdf::NodeId>> components() const;
+};
+
+/// Sum of gains over cross edges (Definition 3).
+Rational bandwidth(const sdf::SdfGraph& g, const sdf::GainMap& gains, const Partition& p);
+
+/// Total module state per component.
+std::vector<std::int64_t> component_states(const sdf::SdfGraph& g, const Partition& p);
+
+/// Largest component state.
+std::int64_t max_component_state(const sdf::SdfGraph& g, const Partition& p);
+
+/// Cross edges incident (in + out) per component.
+std::vector<std::int32_t> component_degrees(const sdf::SdfGraph& g, const Partition& p);
+
+/// Largest component degree.
+std::int32_t max_component_degree(const sdf::SdfGraph& g, const Partition& p);
+
+/// True iff the contracted multigraph is acyclic (Definition 2).
+bool is_well_ordered(const sdf::SdfGraph& g, const Partition& p);
+
+/// True iff every component's state is at most `state_bound` (= c*M).
+bool is_bounded(const sdf::SdfGraph& g, const Partition& p, std::int64_t state_bound);
+
+/// Structural problems (bad ids, empty components, missing nodes); empty
+/// when the partition is a valid cover.
+std::vector<std::string> validate_partition(const sdf::SdfGraph& g, const Partition& p);
+
+/// Renumbers components so ids follow a topological order of the contracted
+/// dag (schedulers execute components in id order). Requires well-ordered.
+Partition renumber_topological(const sdf::SdfGraph& g, const Partition& p);
+
+/// All quality metrics in one sweep, for tables and tests.
+struct PartitionQuality {
+  Rational bandwidth;
+  std::int64_t max_state = 0;
+  std::int32_t max_degree = 0;
+  std::int32_t num_components = 0;
+  bool well_ordered = false;
+};
+
+PartitionQuality measure(const sdf::SdfGraph& g, const sdf::GainMap& gains,
+                         const Partition& p);
+
+}  // namespace ccs::partition

@@ -1,0 +1,86 @@
+#include "partition/pipeline_dp.h"
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sdf/gain.h"
+#include "sdf/topology.h"
+#include "util/error.h"
+
+namespace ccs::partition {
+
+PipelineDpResult pipeline_optimal_partition(const sdf::SdfGraph& g,
+                                            std::int64_t state_bound) {
+  CCS_EXPECTS(state_bound > 0, "state bound must be positive");
+  const auto chain = sdf::pipeline_order(g);
+  if (g.max_state() > state_bound) {
+    throw Error("a module exceeds the state bound; no bounded partition exists");
+  }
+  const sdf::GainMap gains(g);
+  const auto n = static_cast<std::int32_t>(chain.size());
+
+  std::vector<std::int64_t> prefix_state(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int32_t i = 0; i < n; ++i) {
+    prefix_state[static_cast<std::size_t>(i) + 1] =
+        prefix_state[static_cast<std::size_t>(i)] +
+        g.node(chain[static_cast<std::size_t>(i)]).state;
+  }
+  // gain of the chain edge entering position i (from i-1), i in [1, n).
+  std::vector<Rational> cut_gain(static_cast<std::size_t>(n), Rational(0));
+  for (std::int32_t i = 1; i < n; ++i) {
+    const sdf::EdgeId e = g.out_edges(chain[static_cast<std::size_t>(i) - 1]).front();
+    cut_gain[static_cast<std::size_t>(i)] = gains.edge_gain(e);
+  }
+
+  // dp[i] = min bandwidth of partitioning chain[0..i), cutting before i.
+  std::vector<std::optional<Rational>> dp(static_cast<std::size_t>(n) + 1);
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(n) + 1, -1);
+  dp[0] = Rational(0);
+  for (std::int32_t j = 1; j <= n; ++j) {
+    for (std::int32_t i = j - 1; i >= 0; --i) {
+      const std::int64_t seg_state =
+          prefix_state[static_cast<std::size_t>(j)] - prefix_state[static_cast<std::size_t>(i)];
+      if (seg_state > state_bound) break;  // growing i downward only adds state
+      if (!dp[static_cast<std::size_t>(i)].has_value()) continue;
+      const Rational cost =
+          *dp[static_cast<std::size_t>(i)] +
+          (i > 0 ? cut_gain[static_cast<std::size_t>(i)] : Rational(0));
+      if (!dp[static_cast<std::size_t>(j)].has_value() ||
+          cost < *dp[static_cast<std::size_t>(j)]) {
+        dp[static_cast<std::size_t>(j)] = cost;
+        parent[static_cast<std::size_t>(j)] = i;
+      }
+    }
+  }
+  CCS_CHECK(dp[static_cast<std::size_t>(n)].has_value(),
+            "modules fit the bound individually, so a partition must exist");
+
+  // Reconstruct segment boundaries.
+  std::vector<std::int32_t> cuts;  // positions where segments start
+  for (std::int32_t j = n; j > 0; j = parent[static_cast<std::size_t>(j)]) {
+    cuts.push_back(parent[static_cast<std::size_t>(j)]);
+  }
+  std::vector<std::vector<sdf::NodeId>> comps;
+  for (auto it = cuts.rbegin(); it != cuts.rend(); ++it) {
+    const std::int32_t start = *it;
+    const std::int32_t end =
+        (it + 1 != cuts.rend()) ? *(it + 1) : n;  // next segment start or n
+    std::vector<sdf::NodeId> comp;
+    for (std::int32_t i = start; i < end; ++i) {
+      comp.push_back(chain[static_cast<std::size_t>(i)]);
+    }
+    comps.push_back(std::move(comp));
+  }
+
+  PipelineDpResult result;
+  result.partition = Partition::from_components(g, comps);
+  result.bandwidth = *dp[static_cast<std::size_t>(n)];
+  return result;
+}
+
+Rational pipeline_min_bandwidth(const sdf::SdfGraph& g, std::int64_t state_bound) {
+  return pipeline_optimal_partition(g, state_bound).bandwidth;
+}
+
+}  // namespace ccs::partition

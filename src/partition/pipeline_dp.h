@@ -1,0 +1,37 @@
+// Optimal pipeline partitioning by dynamic programming.
+//
+// For a pipeline, every well-ordered partition's components are contiguous
+// chain segments (a gap would create a two-way pair of cross edges and hence
+// a contracted cycle), so minimum-bandwidth c-bounded partitioning reduces
+// to optimal chain segmentation: O(n^2) interval DP over cut positions,
+// minimizing the sum of cut-edge gains subject to per-segment state <= cM.
+// The paper notes this "simple dynamic program" after Theorem 5; it also
+// computes minBW_c(G) exactly for pipelines, which Experiment E2 uses as the
+// lower-bound witness.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition.h"
+#include "sdf/graph.h"
+#include "util/rational.h"
+
+namespace ccs::partition {
+
+/// Result of the DP: the optimal partition and its exact bandwidth.
+struct PipelineDpResult {
+  Partition partition;
+  Rational bandwidth;
+};
+
+/// Minimum-bandwidth partition of a pipeline into segments of total state at
+/// most `state_bound` (= c*M). Throws GraphError if not a pipeline, or
+/// ccs::Error if some single module exceeds the bound (then no partition
+/// exists).
+PipelineDpResult pipeline_optimal_partition(const sdf::SdfGraph& g,
+                                            std::int64_t state_bound);
+
+/// Just the optimal bandwidth minBW_c for a pipeline (same DP).
+Rational pipeline_min_bandwidth(const sdf::SdfGraph& g, std::int64_t state_bound);
+
+}  // namespace ccs::partition

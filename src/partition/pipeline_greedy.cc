@@ -1,0 +1,81 @@
+#include "partition/pipeline_greedy.h"
+
+#include "sdf/gain.h"
+#include "sdf/topology.h"
+#include "util/error.h"
+
+namespace ccs::partition {
+
+PipelineGreedyResult pipeline_greedy_partition(const sdf::SdfGraph& g, std::int64_t m) {
+  CCS_EXPECTS(m > 0, "cache size must be positive");
+  const auto chain = sdf::pipeline_order(g);  // throws if not a pipeline
+  if (g.max_state() > m) {
+    throw Error("a module exceeds the cache size; no partition can schedule it");
+  }
+  const sdf::GainMap gains(g);
+  const auto n = static_cast<std::int32_t>(chain.size());
+
+  // Chain-position edge i connects chain[i] -> chain[i+1].
+  std::vector<sdf::EdgeId> chain_edge(static_cast<std::size_t>(n - 1));
+  for (std::int32_t i = 0; i + 1 < n; ++i) {
+    chain_edge[static_cast<std::size_t>(i)] =
+        g.out_edges(chain[static_cast<std::size_t>(i)]).front();
+  }
+
+  std::vector<std::int64_t> suffix_state(static_cast<std::size_t>(n) + 1, 0);
+  for (std::int32_t i = n; i-- > 0;) {
+    suffix_state[static_cast<std::size_t>(i)] =
+        suffix_state[static_cast<std::size_t>(i) + 1] +
+        g.node(chain[static_cast<std::size_t>(i)]).state;
+  }
+
+  // Accrete segments Wi: close a segment once its state exceeds 2M, unless
+  // the remaining tail itself has at most 2M state, in which case the tail
+  // joins the current segment.
+  PipelineGreedyResult result;
+  std::int32_t seg_first = 0;
+  std::int64_t seg_state = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    seg_state += g.node(chain[static_cast<std::size_t>(i)]).state;
+    const std::int64_t remaining = suffix_state[static_cast<std::size_t>(i) + 1];
+    if (seg_state > 2 * m && remaining > 2 * m) {
+      result.segments.push_back(ChainSegment{seg_first, i});
+      seg_first = i + 1;
+      seg_state = 0;
+    }
+  }
+  if (seg_first < n) result.segments.push_back(ChainSegment{seg_first, n - 1});
+
+  // Cut at the gain-minimizing edge inside each segment that both (a) has an
+  // internal edge and (b) is not the final segment-closing position (a cut
+  // after the last module would be vacuous).
+  std::vector<bool> cut_after(static_cast<std::size_t>(n - 1 > 0 ? n - 1 : 0), false);
+  for (const ChainSegment& seg : result.segments) {
+    if (seg.last <= seg.first) continue;  // single module: no internal edge
+    // Theorem 3 only charges segments with at least 2M state; an undersized
+    // segment (possible only when the whole pipeline is light) is not cut.
+    const std::int64_t seg_state = suffix_state[static_cast<std::size_t>(seg.first)] -
+                                   suffix_state[static_cast<std::size_t>(seg.last) + 1];
+    if (seg_state < 2 * m) continue;
+    std::int32_t best = seg.first;
+    for (std::int32_t i = seg.first; i < seg.last; ++i) {
+      const Rational& cand = gains.edge_gain(chain_edge[static_cast<std::size_t>(i)]);
+      if (cand < gains.edge_gain(chain_edge[static_cast<std::size_t>(best)])) best = i;
+    }
+    // A cut at the very end of the pipeline would split off nothing.
+    result.cut_edges.push_back(chain_edge[static_cast<std::size_t>(best)]);
+    cut_after[static_cast<std::size_t>(best)] = true;
+  }
+
+  // Components are the chain intervals between cuts.
+  std::vector<std::vector<sdf::NodeId>> comps;
+  comps.emplace_back();
+  for (std::int32_t i = 0; i < n; ++i) {
+    comps.back().push_back(chain[static_cast<std::size_t>(i)]);
+    if (i + 1 < n && cut_after[static_cast<std::size_t>(i)]) comps.emplace_back();
+  }
+  result.partition = Partition::from_components(g, comps);
+  return result;
+}
+
+}  // namespace ccs::partition

@@ -1,0 +1,40 @@
+// The constructive partition of Theorem 5.
+//
+// Walk the pipeline from source to sink accreting segments W1, W2, ... of
+// total state just above 2M (appending the tail to the last segment if less
+// than 2M remains). Within each Wi, cut at the *gain-minimizing* edge.
+// The induced partition {Vi} has components of state at most 8M, and the
+// paper proves its bandwidth lower-bounds every schedule's cost (Theorem 3
+// applied to the Wi) while a partitioned schedule achieves it (Lemma 4) --
+// the heart of the pipeline optimality result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partition.h"
+#include "sdf/graph.h"
+
+namespace ccs::partition {
+
+/// One accreted segment [first, last] (inclusive positions in chain order).
+struct ChainSegment {
+  std::int32_t first = 0;
+  std::int32_t last = 0;
+};
+
+/// Output of the Theorem 5 construction: the partition, the 2M-segments it
+/// was built from (these witness the lower bound), and the cut edges (the
+/// gain-minimizing edge of each segment).
+struct PipelineGreedyResult {
+  Partition partition;
+  std::vector<ChainSegment> segments;   ///< the Wi, in chain positions
+  std::vector<sdf::EdgeId> cut_edges;   ///< gainMin(Wi) for each cut
+};
+
+/// Runs the construction with cache size M. Requires a pipeline whose
+/// modules each have state <= M (the paper's standing assumption); throws
+/// GraphError / ccs::Error otherwise.
+PipelineGreedyResult pipeline_greedy_partition(const sdf::SdfGraph& g, std::int64_t m);
+
+}  // namespace ccs::partition

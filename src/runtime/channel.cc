@@ -1,0 +1,54 @@
+#include "runtime/channel.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace ccs::runtime {
+
+Channel::Channel(iomodel::Region region, std::int64_t capacity)
+    : region_(region), capacity_(capacity) {
+  CCS_EXPECTS(capacity >= 1, "channel capacity must be positive");
+  CCS_EXPECTS(region.words == capacity, "region must have one word per slot");
+}
+
+void Channel::push(std::int64_t count, iomodel::CacheSim& cache) {
+  CCS_EXPECTS(count >= 0, "negative push count");
+  if (count > space()) {
+    throw ScheduleError("channel overflow: pushing " + std::to_string(count) + " into " +
+                        std::to_string(space()) + " free slots");
+  }
+  touch((head_ + size_) % capacity_, count, cache, iomodel::AccessMode::kWrite);
+  size_ += count;
+}
+
+void Channel::pop(std::int64_t count, iomodel::CacheSim& cache) {
+  CCS_EXPECTS(count >= 0, "negative pop count");
+  if (count > size_) {
+    throw ScheduleError("channel underflow: popping " + std::to_string(count) + " of " +
+                        std::to_string(size_) + " tokens");
+  }
+  touch(head_, count, cache, iomodel::AccessMode::kRead);
+  head_ = (head_ + count) % capacity_;
+  size_ -= count;
+}
+
+void Channel::touch(std::int64_t offset, std::int64_t count, iomodel::CacheSim& cache,
+                    iomodel::AccessMode mode) const {
+  const std::int64_t block = cache.config().block_words;
+  std::int64_t remaining = count;
+  std::int64_t pos = offset;
+  while (remaining > 0) {
+    const std::int64_t run = std::min(remaining, capacity_ - pos);  // until wrap
+    const iomodel::Addr first = region_.base + pos;
+    const iomodel::Addr last = first + run - 1;
+    for (iomodel::BlockId b = first / block; b <= last / block; ++b) {
+      cache.access(std::max(first, b * block), mode);
+    }
+    remaining -= run;
+    pos = (pos + run) % capacity_;
+  }
+}
+
+}  // namespace ccs::runtime

@@ -1,0 +1,54 @@
+// FIFO channel backed by a ring buffer in the simulated address space.
+//
+// Tokens are unit-sized words. push/pop touch the cache at *block*
+// granularity: a contiguous span of k words covers a fixed set of blocks,
+// and touching each block once produces exactly the same miss count (and
+// LRU recency order) as touching every word, while costing O(k/B) simulator
+// work instead of O(k).
+#pragma once
+
+#include <cstdint>
+
+#include "iomodel/cache.h"
+#include "iomodel/layout.h"
+
+namespace ccs::runtime {
+
+/// Bounded FIFO queue of unit-size tokens with simulated memory traffic.
+class Channel {
+ public:
+  /// `region.words` must equal `capacity` (one word per token slot).
+  Channel(iomodel::Region region, std::int64_t capacity);
+
+  std::int64_t capacity() const noexcept { return capacity_; }
+  std::int64_t size() const noexcept { return size_; }
+  std::int64_t space() const noexcept { return capacity_ - size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == capacity_; }
+
+  /// Appends `count` tokens, writing their slots. Requires space() >= count.
+  void push(std::int64_t count, iomodel::CacheSim& cache);
+
+  /// Removes `count` tokens, reading their slots. Requires size() >= count.
+  void pop(std::int64_t count, iomodel::CacheSim& cache);
+
+  /// Empties the queue without memory traffic (used between measurement
+  /// phases; the data is dead by construction).
+  void reset() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  /// Touches every block overlapping [offset, offset+count) within the ring,
+  /// splitting the wrapped span into at most two contiguous pieces.
+  void touch(std::int64_t offset, std::int64_t count, iomodel::CacheSim& cache,
+             iomodel::AccessMode mode) const;
+
+  iomodel::Region region_;
+  std::int64_t capacity_;
+  std::int64_t head_ = 0;  // index of the oldest token
+  std::int64_t size_ = 0;
+};
+
+}  // namespace ccs::runtime

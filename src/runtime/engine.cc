@@ -1,0 +1,174 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace ccs::runtime {
+
+namespace {
+
+// External streams live far above anything MemoryLayout hands out, so they
+// can grow without bound and never collide with state/buffer regions.
+constexpr iomodel::Addr kExternalInBase = iomodel::Addr{1} << 40;
+constexpr iomodel::Addr kExternalOutBase = iomodel::Addr{1} << 41;
+
+}  // namespace
+
+Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
+               iomodel::CacheSim& cache, EngineOptions options)
+    : graph_(&g),
+      cache_(&cache),
+      options_(options),
+      layout_(cache.config().block_words) {
+  CCS_EXPECTS(g.node_count() > 0, "cannot build an engine for an empty graph");
+  CCS_EXPECTS(buffer_caps.size() == static_cast<std::size_t>(g.edge_count()),
+              "one buffer capacity per edge required");
+
+  state_.reserve(static_cast<std::size_t>(g.node_count()));
+  for (sdf::NodeId v = 0; v < g.node_count(); ++v) {
+    state_.push_back(layout_.allocate(g.node(v).state, "state:" + g.node(v).name));
+    state_words_ += g.node(v).state;
+  }
+  channels_.reserve(static_cast<std::size_t>(g.edge_count()));
+  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const sdf::Edge& edge = g.edge(e);
+    const std::int64_t cap = buffer_caps[static_cast<std::size_t>(e)];
+    if (cap < std::max(edge.out_rate, edge.in_rate)) {
+      throw ScheduleError("buffer on " + g.node(edge.src).name + " -> " +
+                          g.node(edge.dst).name + " (capacity " + std::to_string(cap) +
+                          ") cannot hold one burst");
+    }
+    // Buffers are packed (not block-aligned) by default: dozens of one-word
+    // minimal channels must not consume a cache block each, or the paper's
+    // sum(minBuf) = O(state) assumption silently becomes O(edges * B).
+    channels_.emplace_back(
+        layout_.allocate(cap, "buf:" + g.node(edge.src).name + ">" + g.node(edge.dst).name,
+                         options_.block_align_buffers),
+        cap);
+  }
+  fired_.assign(static_cast<std::size_t>(g.node_count()), 0);
+  node_miss_base_.assign(static_cast<std::size_t>(g.node_count()), 0);
+
+  const auto sources = g.sources();
+  const auto sinks = g.sinks();
+  if (sources.size() == 1) source_ = sources.front();
+  if (sinks.size() == 1) sink_ = sinks.front();
+  external_in_ = iomodel::Region{kExternalInBase, 0};
+  external_out_ = iomodel::Region{kExternalOutBase, 0};
+}
+
+bool Engine::can_fire(sdf::NodeId v) const {
+  for (const sdf::EdgeId e : graph_->in_edges(v)) {
+    if (tokens(e) < graph_->edge(e).in_rate) return false;
+  }
+  for (const sdf::EdgeId e : graph_->out_edges(v)) {
+    if (space(e) < graph_->edge(e).out_rate) return false;
+  }
+  return true;
+}
+
+void Engine::touch_state(sdf::NodeId v) {
+  const iomodel::Region& region = state_[static_cast<std::size_t>(v)];
+  const std::int64_t block = cache_->config().block_words;
+  // State regions are block-aligned; touching the first word of each block
+  // yields the same misses and recency order as scanning every word.
+  for (iomodel::Addr a = region.base; a < region.end(); a += block) {
+    cache_->access(a, iomodel::AccessMode::kRead);
+  }
+}
+
+void Engine::fire(sdf::NodeId v) {
+  CCS_EXPECTS(v >= 0 && v < graph_->node_count(), "node id out of range");
+  // Validate both directions before any memory traffic so a throwing fire
+  // leaves token counts unchanged.
+  for (const sdf::EdgeId e : graph_->in_edges(v)) {
+    if (tokens(e) < graph_->edge(e).in_rate) {
+      throw ScheduleError("firing '" + graph_->node(v).name + "' would underflow channel " +
+                          std::to_string(e));
+    }
+  }
+  for (const sdf::EdgeId e : graph_->out_edges(v)) {
+    if (space(e) < graph_->edge(e).out_rate) {
+      throw ScheduleError("firing '" + graph_->node(v).name + "' would overflow channel " +
+                          std::to_string(e));
+    }
+  }
+
+  const std::int64_t miss_before = cache_->stats().misses;
+
+  // Consume inputs, then execute (scan state), then produce outputs --
+  // the natural data flow of a filter body. Phase boundaries snapshot the
+  // miss counter so RunResult can break misses down by cause.
+  for (const sdf::EdgeId e : graph_->in_edges(v)) {
+    channels_[static_cast<std::size_t>(e)].pop(graph_->edge(e).in_rate, *cache_);
+  }
+  const std::int64_t after_pops = cache_->stats().misses;
+  if (options_.model_external_io && v == source_) {
+    cache_->access(kExternalInBase + external_in_cursor_++, iomodel::AccessMode::kRead);
+  }
+  const std::int64_t after_in = cache_->stats().misses;
+  touch_state(v);
+  const std::int64_t after_state = cache_->stats().misses;
+  for (const sdf::EdgeId e : graph_->out_edges(v)) {
+    channels_[static_cast<std::size_t>(e)].push(graph_->edge(e).out_rate, *cache_);
+  }
+  const std::int64_t after_pushes = cache_->stats().misses;
+  if (options_.model_external_io && v == sink_) {
+    cache_->access(kExternalOutBase + external_out_cursor_++, iomodel::AccessMode::kWrite);
+  }
+  channel_misses_ += (after_pops - miss_before) + (after_pushes - after_state);
+  io_misses_ += (after_in - after_pops) + (cache_->stats().misses - after_pushes);
+  state_misses_ += after_state - after_in;
+
+  ++fired_[static_cast<std::size_t>(v)];
+  ++total_firings_;
+  if (v == source_) ++source_firings_;
+  if (v == sink_) ++sink_firings_;
+  if (options_.per_node_attribution) {
+    node_miss_base_[static_cast<std::size_t>(v)] += cache_->stats().misses - miss_before;
+  }
+}
+
+RunResult Engine::run(std::span<const sdf::NodeId> firings) {
+  for (const sdf::NodeId v : firings) fire(v);
+
+  RunResult result;
+  const iomodel::CacheStats& now = cache_->stats();
+  result.cache.accesses = now.accesses - last_stats_.accesses;
+  result.cache.hits = now.hits - last_stats_.hits;
+  result.cache.misses = now.misses - last_stats_.misses;
+  result.cache.writebacks = now.writebacks - last_stats_.writebacks;
+  result.firings = total_firings_ - last_firings_;
+  result.source_firings = source_firings_ - last_source_firings_;
+  result.sink_firings = sink_firings_ - last_sink_firings_;
+  result.state_misses = state_misses_ - last_state_misses_;
+  result.channel_misses = channel_misses_ - last_channel_misses_;
+  result.io_misses = io_misses_ - last_io_misses_;
+  last_state_misses_ = state_misses_;
+  last_channel_misses_ = channel_misses_;
+  last_io_misses_ = io_misses_;
+  if (options_.per_node_attribution) {
+    result.node_misses = node_miss_base_;
+    node_miss_base_.assign(node_miss_base_.size(), 0);
+  }
+
+  last_stats_ = now;
+  last_firings_ = total_firings_;
+  last_source_firings_ = source_firings_;
+  last_sink_firings_ = sink_firings_;
+  return result;
+}
+
+bool Engine::drained() const {
+  return std::all_of(channels_.begin(), channels_.end(),
+                     [](const Channel& c) { return c.empty(); });
+}
+
+void Engine::reset_tokens() {
+  for (Channel& c : channels_) c.reset();
+  fired_.assign(fired_.size(), 0);
+}
+
+}  // namespace ccs::runtime

@@ -1,0 +1,41 @@
+// Structured result of executing a firing sequence on the simulated cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "iomodel/types.h"
+
+namespace ccs::runtime {
+
+/// Counters accumulated over one Engine::run call (deltas, not lifetime
+/// totals, so successive runs can be compared).
+struct RunResult {
+  iomodel::CacheStats cache;              ///< Transfer counters for this run.
+  std::int64_t firings = 0;               ///< Module executions performed.
+  std::int64_t source_firings = 0;        ///< Executions of the source module.
+  std::int64_t sink_firings = 0;          ///< Executions of the sink module.
+  std::vector<std::int64_t> node_misses;  ///< Miss delta attributed per module.
+
+  // Misses classified by what was being touched (sums to cache.misses):
+  std::int64_t state_misses = 0;    ///< Loading module state.
+  std::int64_t channel_misses = 0;  ///< Reading/writing channel buffers.
+  std::int64_t io_misses = 0;       ///< External input/output streams.
+
+  /// Amortized cost in the paper's terms: misses per item entering the graph
+  /// (one item enters per source firing).
+  double misses_per_input() const {
+    return source_firings > 0
+               ? static_cast<double>(cache.misses) / static_cast<double>(source_firings)
+               : 0.0;
+  }
+
+  /// Misses per terminal output (one per sink firing).
+  double misses_per_output() const {
+    return sink_firings > 0
+               ? static_cast<double>(cache.misses) / static_cast<double>(sink_firings)
+               : 0.0;
+  }
+};
+
+}  // namespace ccs::runtime

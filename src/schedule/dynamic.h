@@ -1,0 +1,36 @@
+// Dynamic (online) component scheduling (Section 3, "Scheduling pipelines"
+// and the asynchronous homogeneous variant).
+//
+// Unlike the batch scheduler, the dynamic pipeline scheduler fixes no output
+// count in advance. Every cross edge gets a Theta(M) buffer; a component is
+// *schedulable* when its input cross buffer is at least half full and its
+// output cross buffer at most half full; it then executes until the input
+// empties or the output fills, moving Omega(M) tokens either way -- enough
+// to amortize the O(M/B) cost of loading the component. The paper's
+// continuity argument (scan cross edges in order; the first at-most-half-
+// full edge has a schedulable upstream component) guarantees progress, and
+// the same scan is implemented here verbatim.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/partition.h"
+#include "schedule/schedule.h"
+#include "sdf/graph.h"
+
+namespace ccs::schedule {
+
+/// Runs the online rule until at least `min_outputs` sink firings, then
+/// drains, returning everything executed as one period. The partition must
+/// be a well-ordered pipeline segmentation.
+Schedule dynamic_pipeline_schedule(const sdf::SdfGraph& g, const partition::Partition& p,
+                                   std::int64_t m, std::int64_t min_outputs);
+
+/// Homogeneous-dag variant: a component is schedulable when every incoming
+/// cross buffer holds M tokens and every outgoing one is empty; it then
+/// runs M local iterations (the paper's asynchronous schedule, executed
+/// sequentially). Requires a homogeneous graph.
+Schedule dynamic_homogeneous_schedule(const sdf::SdfGraph& g, const partition::Partition& p,
+                                      std::int64_t m, std::int64_t min_outputs);
+
+}  // namespace ccs::schedule

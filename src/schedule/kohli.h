@@ -1,0 +1,25 @@
+// Greedy cache-aware pipeline heuristic (Kohli, UCB/ERL M04/3) baseline.
+//
+// Kohli's scheduler walks the pipeline making *local* decisions: keep firing
+// the current module while its inputs last and its output buffer has room,
+// then move to its successor. Buffers get an equal share of the cache. The
+// paper's Section 6 notes that because decisions are local, the heuristic
+// cannot be asymptotically optimal -- it never concentrates buffer capacity
+// on the gain-minimizing edges the way the optimal partition does.
+// Experiment E8 quantifies the gap.
+#pragma once
+
+#include <cstdint>
+
+#include "schedule/schedule.h"
+#include "sdf/graph.h"
+
+namespace ccs::schedule {
+
+/// Builds the greedy schedule for a pipeline with cache size `m` words.
+/// Each edge's buffer gets an equal share of half the cache (the other half
+/// notionally holds module state), floored at the edge's minimal burst.
+/// Throws GraphError if `g` is not a pipeline.
+Schedule kohli_schedule(const sdf::SdfGraph& g, std::int64_t m);
+
+}  // namespace ccs::schedule

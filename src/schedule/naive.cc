@@ -1,0 +1,36 @@
+#include "schedule/naive.h"
+
+#include "schedule/steady_state.h"
+#include "sdf/min_buffer.h"
+#include "sdf/repetition.h"
+
+namespace ccs::schedule {
+
+namespace {
+
+void fill_period_counts(const sdf::SdfGraph& g, Schedule& s) {
+  const sdf::RepetitionVector reps(g);
+  s.inputs_per_period = reps.count(g.sources().front());
+  s.outputs_per_period = reps.count(g.sinks().front());
+}
+
+}  // namespace
+
+Schedule naive_minimal_buffer_schedule(const sdf::SdfGraph& g) {
+  Schedule s;
+  s.name = "naive-minbuf";
+  s.buffer_caps = sdf::feasible_buffers(g);
+  s.period = demand_driven_iteration(g, s.buffer_caps);
+  fill_period_counts(g, s);
+  return s;
+}
+
+Schedule naive_single_appearance_schedule(const sdf::SdfGraph& g) {
+  Schedule s;
+  s.name = "naive-sas";
+  s.period = single_appearance_iteration(g, &s.buffer_caps);
+  fill_period_counts(g, s);
+  return s;
+}
+
+}  // namespace ccs::schedule

@@ -1,0 +1,23 @@
+// Cache-oblivious baseline schedulers.
+//
+// These represent what a streaming runtime does when it ignores the cache:
+// execute one steady-state iteration at a time across the *whole* graph.
+// When the graph's total state exceeds M, every module's state is evicted
+// between its firings in consecutive iterations, which is exactly the
+// pathology the paper's partitioned scheduler removes.
+#pragma once
+
+#include "schedule/schedule.h"
+#include "sdf/graph.h"
+
+namespace ccs::schedule {
+
+/// Demand-driven steady state over minimal feasible buffers. The classic
+/// "smallest memory" schedule; one period = one iteration.
+Schedule naive_minimal_buffer_schedule(const sdf::SdfGraph& g);
+
+/// Single-appearance steady state (topological order, q(v) firings per
+/// module) with one full iteration of traffic buffered per edge.
+Schedule naive_single_appearance_schedule(const sdf::SdfGraph& g);
+
+}  // namespace ccs::schedule

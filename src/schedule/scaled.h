@@ -1,0 +1,31 @@
+// Execution scaling (Sermulins et al., LCTES'05) baseline.
+//
+// Start from the single-appearance steady state and replace each module's
+// q(v) firings by s*q(v) back-to-back firings, choosing the largest s whose
+// buffer growth avoids "catastrophic spills": every module's working set
+// (its state plus the buffers on its incident channels) must still fit in
+// the cache. Scaling amortizes state loads across s iterations but -- as
+// the paper observes in Section 6 -- explores only schedules derived from
+// one fixed steady state, so it cannot exploit partition structure and is
+// suboptimal on graphs whose state is concentrated in a few hot regions.
+#pragma once
+
+#include <cstdint>
+
+#include "schedule/schedule.h"
+#include "sdf/graph.h"
+
+namespace ccs::schedule {
+
+/// Builds the scaled schedule for cache size `m` (words). `max_scale` caps
+/// the search (the optimum is found by direct maximization; the cap guards
+/// against degenerate graphs with near-zero buffer cost).
+Schedule scaled_schedule(const sdf::SdfGraph& g, std::int64_t m,
+                         std::int64_t max_scale = 1 << 20);
+
+/// The scale factor the schedule above would choose (exposed for tests and
+/// the E8 ablation).
+std::int64_t choose_scale_factor(const sdf::SdfGraph& g, std::int64_t m,
+                                 std::int64_t max_scale = 1 << 20);
+
+}  // namespace ccs::schedule

@@ -1,0 +1,41 @@
+// Textual serialization of schedules.
+//
+// Partitioning is a compile-time activity (the paper suggests even
+// exponential partitioners are acceptable offline); a production runtime
+// wants to compute a schedule once and ship it. The format is line
+// oriented and references modules by name so it survives graph rebuilds
+// that preserve naming:
+//
+//   schedule <name>
+//   inputs <n>
+//   outputs <n>
+//   buffers <cap0> <cap1> ...          # one per edge, edge-id order
+//   period <name> <name> ...           # firing order (possibly long)
+//
+// Reading validates the schedule against the graph (module names must
+// resolve; buffer arity must match) but does not replay it -- callers who
+// distrust the source should run schedule::check_schedule afterwards.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "schedule/schedule.h"
+#include "sdf/graph.h"
+
+namespace ccs::schedule {
+
+/// Writes `s` for graph `g`.
+void write_schedule(const sdf::SdfGraph& g, const Schedule& s, std::ostream& os);
+
+/// Convenience: schedule as text.
+std::string to_text(const sdf::SdfGraph& g, const Schedule& s);
+
+/// Parses a schedule for `g`. Throws ParseError on malformed input and
+/// ccs::Error when names or arities do not match the graph.
+Schedule read_schedule(const sdf::SdfGraph& g, std::istream& is);
+
+/// Convenience: parse from a string.
+Schedule from_text(const sdf::SdfGraph& g, const std::string& text);
+
+}  // namespace ccs::schedule

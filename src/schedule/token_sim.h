@@ -1,0 +1,63 @@
+// Pure token-counting simulator (no cache, no memory).
+//
+// Schedulers *generate* firing sequences by simulating token counts, and the
+// validator replays sequences the same way. Keeping this separate from the
+// cache-simulating runtime::Engine means schedule construction never touches
+// the measured cache, and the engine never needs scheduling logic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sdf/graph.h"
+
+namespace ccs::schedule {
+
+/// Channel token counts + firing bookkeeping for one graph.
+class TokenSim {
+ public:
+  TokenSim(const sdf::SdfGraph& g, std::span<const std::int64_t> caps);
+
+  /// True iff inputs suffice and outputs have space.
+  bool can_fire(sdf::NodeId v) const;
+
+  /// Largest k such that v can fire k times back to back right now
+  /// (bounded by `limit`).
+  std::int64_t max_batch(sdf::NodeId v, std::int64_t limit) const;
+
+  /// Fires v exactly `count` times. Throws ScheduleError on violation.
+  void fire(sdf::NodeId v, std::int64_t count = 1);
+
+  std::int64_t tokens(sdf::EdgeId e) const {
+    return tokens_[static_cast<std::size_t>(e)];
+  }
+  std::int64_t space(sdf::EdgeId e) const {
+    return caps_[static_cast<std::size_t>(e)] - tokens_[static_cast<std::size_t>(e)];
+  }
+  std::int64_t capacity(sdf::EdgeId e) const {
+    return caps_[static_cast<std::size_t>(e)];
+  }
+  std::int64_t fired(sdf::NodeId v) const {
+    return fired_[static_cast<std::size_t>(v)];
+  }
+
+  /// Highest token count ever observed per edge (validates capacity sizing).
+  std::int64_t peak(sdf::EdgeId e) const {
+    return peak_[static_cast<std::size_t>(e)];
+  }
+
+  /// True iff every channel is empty.
+  bool drained() const;
+
+  const sdf::SdfGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  const sdf::SdfGraph* graph_;
+  std::vector<std::int64_t> caps_;
+  std::vector<std::int64_t> tokens_;
+  std::vector<std::int64_t> peak_;
+  std::vector<std::int64_t> fired_;
+};
+
+}  // namespace ccs::schedule

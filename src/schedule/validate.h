@@ -1,0 +1,32 @@
+// Schedule validation by token-level replay.
+//
+// A Schedule claims to be a repeatable period under its buffer capacities.
+// check_schedule replays the period (several times) on a TokenSim and
+// verifies every claim: no underflow/overflow, the declared input/output
+// counts, and full drain at each period boundary. Every scheduler in this
+// library is property-tested through this gate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "schedule/schedule.h"
+#include "sdf/graph.h"
+
+namespace ccs::schedule {
+
+/// Outcome of replaying a schedule.
+struct ScheduleReport {
+  bool ok = false;
+  std::string problem;                ///< Empty when ok.
+  std::vector<std::int64_t> peak;     ///< Max tokens ever queued per edge.
+  std::int64_t source_firings = 0;    ///< Per period (from the last replay).
+  std::int64_t sink_firings = 0;
+};
+
+/// Replays `repeats` periods. Never throws; failures land in `problem`.
+ScheduleReport check_schedule(const sdf::SdfGraph& g, const Schedule& s,
+                              std::int32_t repeats = 2);
+
+}  // namespace ccs::schedule

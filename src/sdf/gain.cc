@@ -1,0 +1,60 @@
+#include "sdf/gain.h"
+
+#include "sdf/topology.h"
+#include "util/error.h"
+
+namespace ccs::sdf {
+
+GainMap::GainMap(const SdfGraph& g) : source_(kInvalidNode) {
+  if (g.node_count() == 0) throw GraphError("gain of empty graph");
+  const auto sources = g.sources();
+  if (sources.size() != 1) {
+    throw GraphError("gain computation requires exactly one source, found " +
+                     std::to_string(sources.size()));
+  }
+  source_ = sources.front();
+
+  node_gain_.assign(static_cast<std::size_t>(g.node_count()), Rational(0));
+  edge_gain_.assign(static_cast<std::size_t>(g.edge_count()), Rational(0));
+  std::vector<bool> assigned(static_cast<std::size_t>(g.node_count()), false);
+
+  const auto order = topological_sort(g);
+  CCS_CHECK(order.front() == source_, "single source must lead the topological order");
+  node_gain_[static_cast<std::size_t>(source_)] = Rational(1);
+  assigned[static_cast<std::size_t>(source_)] = true;
+
+  for (const NodeId u : order) {
+    const auto ui = static_cast<std::size_t>(u);
+    if (!assigned[ui]) {
+      // Unreachable from the source; with a unique source this means a
+      // disconnected piece, which has no well-defined gain.
+      throw GraphError("module '" + g.node(u).name + "' unreachable from source");
+    }
+    for (const EdgeId e : g.out_edges(u)) {
+      const Edge& edge = g.edge(e);
+      const Rational through =
+          node_gain_[ui] * Rational(edge.out_rate, edge.in_rate);
+      edge_gain_[static_cast<std::size_t>(e)] = node_gain_[ui] * Rational(edge.out_rate);
+      const auto di = static_cast<std::size_t>(edge.dst);
+      if (!assigned[di]) {
+        node_gain_[di] = through;
+        assigned[di] = true;
+      } else if (node_gain_[di] != through) {
+        throw RateError("graph is not rate matched: paths to '" + g.node(edge.dst).name +
+                        "' disagree (" + node_gain_[di].to_string() + " vs " +
+                        through.to_string() + ")");
+      }
+    }
+  }
+}
+
+bool is_rate_matched(const SdfGraph& g) {
+  try {
+    GainMap gains(g);
+    return true;
+  } catch (const RateError&) {
+    return false;
+  }
+}
+
+}  // namespace ccs::sdf

@@ -1,0 +1,52 @@
+// Gain computation and rate-match verification (Definition 1 of the paper).
+//
+// gain(v) = number of firings of v per firing of the source, i.e. the
+// product of out/in ratios along any source-to-v path. A graph is *rate
+// matched* iff every path between a fixed pair of vertices yields the same
+// product; this is necessary and sufficient for deadlock-free bounded-buffer
+// execution (Lee & Messerschmitt). Gains are exact rationals.
+#pragma once
+
+#include <vector>
+
+#include "sdf/graph.h"
+#include "util/rational.h"
+
+namespace ccs::sdf {
+
+/// Per-node and per-edge gains of a rate-matched graph.
+class GainMap {
+ public:
+  /// Computes gains by propagating from the (unique) source. Throws
+  /// GraphError if the graph is empty, cyclic, or has multiple sources;
+  /// throws RateError if two paths disagree (not rate matched).
+  explicit GainMap(const SdfGraph& g);
+
+  /// gain(v): firings of v per source firing.
+  const Rational& node_gain(NodeId v) const {
+    CCS_EXPECTS(v >= 0 && v < static_cast<NodeId>(node_gain_.size()), "node id out of range");
+    return node_gain_[static_cast<std::size_t>(v)];
+  }
+
+  /// gain(u, v) = gain(u) * out(u, v): tokens crossing the edge per source
+  /// firing.
+  const Rational& edge_gain(EdgeId e) const {
+    CCS_EXPECTS(e >= 0 && e < static_cast<EdgeId>(edge_gain_.size()), "edge id out of range");
+    return edge_gain_[static_cast<std::size_t>(e)];
+  }
+
+  /// The source whose firing rate defines gain 1.
+  NodeId source() const noexcept { return source_; }
+
+ private:
+  NodeId source_;
+  std::vector<Rational> node_gain_;
+  std::vector<Rational> edge_gain_;
+};
+
+/// True iff all source-to-v paths agree for every v (rate matched). Never
+/// throws RateError; structural errors (cycle, no/multiple sources) still
+/// throw GraphError.
+bool is_rate_matched(const SdfGraph& g);
+
+}  // namespace ccs::sdf

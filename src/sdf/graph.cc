@@ -1,0 +1,105 @@
+#include "sdf/graph.h"
+
+#include <ostream>
+
+#include "util/error.h"
+#include "util/int_math.h"
+
+namespace ccs::sdf {
+
+NodeId SdfGraph::add_node(std::string name, std::int64_t state) {
+  if (name.empty()) throw GraphError("module name must be non-empty");
+  if (state < 0) throw GraphError("module '" + name + "' has negative state size");
+  if (find_node(name) != kInvalidNode) {
+    throw GraphError("duplicate module name '" + name + "'");
+  }
+  nodes_.push_back(Node{std::move(name), state});
+  out_.emplace_back();
+  in_.emplace_back();
+  return node_count() - 1;
+}
+
+EdgeId SdfGraph::add_edge(NodeId src, NodeId dst, std::int64_t out_rate,
+                          std::int64_t in_rate) {
+  if (src < 0 || src >= node_count() || dst < 0 || dst >= node_count()) {
+    throw GraphError("edge endpoint id out of range");
+  }
+  if (src == dst) throw GraphError("self-loop on module '" + node(src).name + "'");
+  if (out_rate <= 0 || in_rate <= 0) {
+    throw RateError("edge " + node(src).name + " -> " + node(dst).name +
+                    " must have positive rates");
+  }
+  edges_.push_back(Edge{src, dst, out_rate, in_rate});
+  const EdgeId id = edge_count() - 1;
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  in_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+NodeId SdfGraph::find_node(const std::string& name) const noexcept {
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (nodes_[static_cast<std::size_t>(v)].name == name) return v;
+  }
+  return kInvalidNode;
+}
+
+std::vector<NodeId> SdfGraph::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (in_[static_cast<std::size_t>(v)].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> SdfGraph::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (out_[static_cast<std::size_t>(v)].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::int64_t SdfGraph::total_state() const noexcept {
+  std::int64_t total = 0;
+  for (const auto& n : nodes_) total += n.state;
+  return total;
+}
+
+std::int64_t SdfGraph::max_state() const noexcept {
+  std::int64_t best = 0;
+  for (const auto& n : nodes_) best = std::max(best, n.state);
+  return best;
+}
+
+bool SdfGraph::is_pipeline() const {
+  if (node_count() == 0) return false;
+  std::int32_t n_source = 0;
+  std::int32_t n_sink = 0;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (in_[vi].size() > 1 || out_[vi].size() > 1) return false;
+    if (in_[vi].empty()) ++n_source;
+    if (out_[vi].empty()) ++n_sink;
+  }
+  // With in/out degree <= 1, one source and one sink imply a single connected
+  // chain covering all modules (edge_count == node_count - 1 rules out any
+  // disjoint cycle, which add_edge's acyclic usage also precludes).
+  return n_source == 1 && n_sink == 1 && edge_count() == node_count() - 1;
+}
+
+bool SdfGraph::is_homogeneous() const noexcept {
+  for (const auto& e : edges_) {
+    if (e.out_rate != 1 || e.in_rate != 1) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const SdfGraph& g) {
+  os << "SdfGraph{n=" << g.node_count() << " e=" << g.edge_count()
+     << " state=" << g.total_state();
+  if (g.is_pipeline()) os << " pipeline";
+  if (g.is_homogeneous()) os << " homogeneous";
+  return os << "}";
+}
+
+}  // namespace ccs::sdf

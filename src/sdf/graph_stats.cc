@@ -1,0 +1,66 @@
+#include "sdf/graph_stats.h"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "sdf/gain.h"
+#include "sdf/topology.h"
+
+namespace ccs::sdf {
+
+GraphStats compute_stats(const SdfGraph& g) {
+  GraphStats stats;
+  stats.nodes = g.node_count();
+  stats.edges = g.edge_count();
+  stats.total_state = g.total_state();
+  stats.max_state = g.max_state();
+  stats.pipeline = g.is_pipeline();
+  stats.homogeneous = g.is_homogeneous();
+  if (g.node_count() == 0) return stats;
+
+  // Longest-path levels give depth and a width proxy (modules per level).
+  const auto order = topological_sort(g);
+  std::vector<std::int32_t> level(static_cast<std::size_t>(g.node_count()), 0);
+  for (const NodeId v : order) {
+    for (const EdgeId e : g.out_edges(v)) {
+      auto& dst = level[static_cast<std::size_t>(g.edge(e).dst)];
+      dst = std::max(dst, level[static_cast<std::size_t>(v)] + 1);
+    }
+  }
+  const std::int32_t max_level = *std::max_element(level.begin(), level.end());
+  stats.depth = max_level + 1;
+  std::vector<std::int32_t> per_level(static_cast<std::size_t>(max_level) + 1, 0);
+  for (const std::int32_t l : level) ++per_level[static_cast<std::size_t>(l)];
+  stats.width = *std::max_element(per_level.begin(), per_level.end());
+
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto degree = static_cast<std::int32_t>(g.in_edges(v).size() + g.out_edges(v).size());
+    stats.max_degree = std::max(stats.max_degree, degree);
+  }
+
+  const GainMap gains(g);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Rational& gain = gains.edge_gain(e);
+    if (e == 0) {
+      stats.min_edge_gain = gain;
+      stats.max_edge_gain = gain;
+    } else {
+      stats.min_edge_gain = std::min(stats.min_edge_gain, gain);
+      stats.max_edge_gain = std::max(stats.max_edge_gain, gain);
+    }
+  }
+  return stats;
+}
+
+std::ostream& operator<<(std::ostream& os, const GraphStats& stats) {
+  os << "nodes=" << stats.nodes << " edges=" << stats.edges
+     << " state=" << stats.total_state << " depth=" << stats.depth
+     << " width=" << stats.width << " deg=" << stats.max_degree << " gain=["
+     << stats.min_edge_gain << "," << stats.max_edge_gain << "]";
+  if (stats.pipeline) os << " pipeline";
+  if (stats.homogeneous) os << " homogeneous";
+  return os;
+}
+
+}  // namespace ccs::sdf

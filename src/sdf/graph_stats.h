@@ -1,0 +1,42 @@
+// Structural statistics of streaming graphs.
+//
+// Used by the explorer example and experiment harness to characterize
+// workloads: the partitioners' behaviour depends on depth (pipeline-ness),
+// width (parallel slack), degree (the Lemma 8 degree-limited condition),
+// and gain spread (how much the gain-minimizing cut rule can save).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "sdf/graph.h"
+#include "util/rational.h"
+
+namespace ccs::sdf {
+
+/// One-sweep structural summary.
+struct GraphStats {
+  std::int32_t nodes = 0;
+  std::int32_t edges = 0;
+  std::int64_t total_state = 0;
+  std::int64_t max_state = 0;
+
+  std::int32_t depth = 0;       ///< Longest source->sink path (in nodes).
+  std::int32_t width = 0;       ///< Largest antichain layer (by longest-path level).
+  std::int32_t max_degree = 0;  ///< Largest in+out degree of a module.
+
+  Rational min_edge_gain{1};    ///< Smallest tokens-per-source-firing on any edge.
+  Rational max_edge_gain{1};    ///< Largest.
+
+  bool pipeline = false;
+  bool homogeneous = false;
+};
+
+/// Computes all statistics. Requires an acyclic graph with a single source
+/// (throws what GainMap throws).
+GraphStats compute_stats(const SdfGraph& g);
+
+/// "nodes=26 edges=34 state=1584 depth=7 width=10 deg=11 gain=[1/4,1]".
+std::ostream& operator<<(std::ostream& os, const GraphStats& stats);
+
+}  // namespace ccs::sdf

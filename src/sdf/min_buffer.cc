@@ -1,0 +1,134 @@
+#include "sdf/min_buffer.h"
+
+#include <algorithm>
+
+#include "sdf/topology.h"
+#include "util/error.h"
+#include "util/int_math.h"
+
+namespace ccs::sdf {
+
+std::int64_t edge_min_buffer(std::int64_t out_rate, std::int64_t in_rate) {
+  CCS_EXPECTS(out_rate > 0 && in_rate > 0, "rates must be positive");
+  return out_rate + in_rate - gcd64(out_rate, in_rate);
+}
+
+namespace {
+
+/// Simulates one steady-state iteration with the given capacities using a
+/// batched topological sweep. Returns true on completion; on deadlock,
+/// `blocked_edge` receives an output edge to enlarge.
+bool simulate_iteration(const SdfGraph& g, const RepetitionVector& reps,
+                        const std::vector<NodeId>& topo,
+                        const std::vector<std::int64_t>& cap, EdgeId* blocked_edge) {
+  std::vector<std::int64_t> tokens(static_cast<std::size_t>(g.edge_count()), 0);
+  std::vector<std::int64_t> remaining(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    remaining[static_cast<std::size_t>(v)] = reps.count(v);
+  }
+  std::int64_t outstanding = reps.total_firings();
+
+  while (outstanding > 0) {
+    bool progressed = false;
+    for (const NodeId v : topo) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (remaining[vi] == 0) continue;
+      // Largest batch of firings possible right now.
+      std::int64_t batch = remaining[vi];
+      for (const EdgeId e : g.in_edges(v)) {
+        batch = std::min(batch, tokens[static_cast<std::size_t>(e)] / g.edge(e).in_rate);
+      }
+      for (const EdgeId e : g.out_edges(v)) {
+        const std::int64_t space = cap[static_cast<std::size_t>(e)] -
+                                   tokens[static_cast<std::size_t>(e)];
+        batch = std::min(batch, space / g.edge(e).out_rate);
+      }
+      if (batch <= 0) continue;
+      for (const EdgeId e : g.in_edges(v)) {
+        tokens[static_cast<std::size_t>(e)] -= batch * g.edge(e).in_rate;
+      }
+      for (const EdgeId e : g.out_edges(v)) {
+        tokens[static_cast<std::size_t>(e)] += batch * g.edge(e).out_rate;
+      }
+      remaining[vi] -= batch;
+      outstanding -= batch;
+      progressed = true;
+    }
+    if (!progressed) {
+      // Deadlock. The topologically-first unfinished module has all of its
+      // producers finished, so by the balance equations its inputs are
+      // sufficient; it must be output-blocked. Grow its fullest blocked edge.
+      for (const NodeId v : topo) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (remaining[vi] == 0) continue;
+        for (const EdgeId e : g.out_edges(v)) {
+          const std::int64_t space =
+              cap[static_cast<std::size_t>(e)] - tokens[static_cast<std::size_t>(e)];
+          if (space < g.edge(e).out_rate) {
+            *blocked_edge = e;
+            return false;
+          }
+        }
+        // Input-blocked topologically-first module: producers all finished
+        // yet tokens are short -- impossible for a rate-matched graph.
+        throw RateError("module '" + g.node(v).name +
+                        "' starved in steady state; graph is not rate matched");
+      }
+      CCS_CHECK(false, "outstanding firings with no unfinished module");
+    }
+  }
+
+  for (std::size_t e = 0; e < tokens.size(); ++e) {
+    CCS_CHECK(tokens[e] == 0, "steady-state iteration must drain all channels");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> feasible_buffers(const SdfGraph& g) {
+  const RepetitionVector reps(g);
+  const auto topo = topological_sort(g);
+
+  std::vector<std::int64_t> cap(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    // A capacity below max(out, in) can never pass a token; the classical
+    // single-edge bound is a valid starting point.
+    cap[static_cast<std::size_t>(e)] =
+        std::min(edge_min_buffer(edge.out_rate, edge.in_rate), reps.edge_tokens(e));
+    cap[static_cast<std::size_t>(e)] =
+        std::max(cap[static_cast<std::size_t>(e)], std::max(edge.out_rate, edge.in_rate));
+  }
+
+  EdgeId blocked = kInvalidEdge;
+  while (!simulate_iteration(g, reps, topo, cap, &blocked)) {
+    auto& c = cap[static_cast<std::size_t>(blocked)];
+    // Grow by one producer burst, never beyond one full iteration's traffic
+    // (which is always sufficient: the producer can then finish outright).
+    const std::int64_t limit = std::max(reps.edge_tokens(blocked),
+                                        g.edge(blocked).out_rate + g.edge(blocked).in_rate);
+    CCS_CHECK(c < limit, "buffer growth exceeded steady-state traffic");
+    c = std::min(limit, checked_add(c, g.edge(blocked).out_rate));
+  }
+  return cap;
+}
+
+std::int64_t internal_buffer_total(const SdfGraph& g, const std::vector<bool>& member,
+                                   const std::vector<std::int64_t>& buf) {
+  CCS_EXPECTS(member.size() == static_cast<std::size_t>(g.node_count()),
+              "member mask size must equal node count");
+  CCS_EXPECTS(buf.size() == static_cast<std::size_t>(g.edge_count()),
+              "buffer vector size must equal edge count");
+  std::int64_t total = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (member[static_cast<std::size_t>(edge.src)] &&
+        member[static_cast<std::size_t>(edge.dst)]) {
+      total = checked_add(total, buf[static_cast<std::size_t>(e)]);
+    }
+  }
+  return total;
+}
+
+}  // namespace ccs::sdf

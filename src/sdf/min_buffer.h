@@ -1,0 +1,43 @@
+// Minimum channel buffer sizes (the paper's minBuf(e), via [17]).
+//
+// Two results are provided:
+//  * edge_min_buffer(p, c): the classical per-edge lower bound
+//    p + c - gcd(p, c) -- the smallest capacity under which a producer with
+//    rate p and consumer with rate c can sustain a periodic schedule when
+//    the edge is considered in isolation.
+//  * feasible_buffers(g): a per-edge capacity assignment under which at
+//    least one full steady-state iteration of the *whole graph* completes
+//    without deadlock. Per-edge minima are not always jointly sufficient in
+//    dags with reconvergent paths, so this routine starts from the lower
+//    bounds and grows blocked channels until a demand-driven simulation of
+//    one iteration succeeds. Growth is bounded by the per-iteration token
+//    count of each edge, so the procedure always terminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sdf/graph.h"
+#include "sdf/repetition.h"
+
+namespace ccs::sdf {
+
+/// Minimum capacity of a lone channel with production rate p, consumption
+/// rate c: p + c - gcd(p, c). For homogeneous edges this is 1... + 1 - 1 = 1,
+/// matching the paper's pipeline/homogeneous observation that
+/// minBuf is O(in + out).
+std::int64_t edge_min_buffer(std::int64_t out_rate, std::int64_t in_rate);
+
+/// Per-edge buffer capacities sufficient to complete one steady-state
+/// iteration, found by iterative relaxation from the per-edge lower bounds.
+/// The returned vector is indexed by EdgeId. Requires an acyclic,
+/// rate-matched graph (throws GraphError/RateError otherwise).
+std::vector<std::int64_t> feasible_buffers(const SdfGraph& g);
+
+/// Total words needed by the buffers of all edges internal to the node set
+/// `member` (member[v] true for modules in the component), using the
+/// capacities in `buf`.
+std::int64_t internal_buffer_total(const SdfGraph& g, const std::vector<bool>& member,
+                                   const std::vector<std::int64_t>& buf);
+
+}  // namespace ccs::sdf

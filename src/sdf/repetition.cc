@@ -1,0 +1,44 @@
+#include "sdf/repetition.h"
+
+#include "util/int_math.h"
+
+namespace ccs::sdf {
+
+RepetitionVector::RepetitionVector(const SdfGraph& g) {
+  const GainMap gains(g);
+  const auto n = static_cast<std::size_t>(g.node_count());
+
+  // Scale all gains by the lcm of their denominators to get integers, then
+  // divide by the common gcd to get the smallest integer vector.
+  std::int64_t den_lcm = 1;
+  for (std::size_t v = 0; v < n; ++v) {
+    den_lcm = checked_lcm(den_lcm, gains.node_gain(static_cast<NodeId>(v)).den());
+  }
+  q_.resize(n);
+  std::int64_t common = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const Rational& gv = gains.node_gain(static_cast<NodeId>(v));
+    CCS_CHECK(gv.is_positive(), "gains of reachable modules are positive");
+    q_[v] = checked_mul(gv.num(), den_lcm / gv.den());
+    common = gcd64(common, q_[v]);
+  }
+  CCS_CHECK(common > 0, "gcd of positive repetition counts is positive");
+  total_ = 0;
+  for (auto& qv : q_) {
+    qv /= common;
+    total_ = checked_add(total_, qv);
+  }
+
+  edge_tokens_.resize(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const std::int64_t produced =
+        checked_mul(q_[static_cast<std::size_t>(edge.src)], edge.out_rate);
+    const std::int64_t consumed =
+        checked_mul(q_[static_cast<std::size_t>(edge.dst)], edge.in_rate);
+    CCS_CHECK(produced == consumed, "balance equation violated after scaling");
+    edge_tokens_[static_cast<std::size_t>(e)] = produced;
+  }
+}
+
+}  // namespace ccs::sdf

@@ -1,0 +1,51 @@
+// Repetition vectors (Lee & Messerschmitt balance equations).
+//
+// The repetition vector q is the componentwise-smallest positive integer
+// vector with q(u) * out(u,v) = q(v) * in(u,v) for every edge. One "steady
+// state iteration" fires each module v exactly q(v) times and returns every
+// channel to its initial token count; every periodic schedule is a
+// concatenation of steady-state iterations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sdf/gain.h"
+#include "sdf/graph.h"
+
+namespace ccs::sdf {
+
+/// The repetition vector plus per-edge token traffic for one iteration.
+class RepetitionVector {
+ public:
+  /// Computes q from the gain map (q(v) = gain(v) scaled to the smallest
+  /// integer vector). Throws what GainMap throws, or OverflowError if the
+  /// scaled values exceed 64 bits.
+  explicit RepetitionVector(const SdfGraph& g);
+
+  /// Firings of module v per steady-state iteration.
+  std::int64_t count(NodeId v) const {
+    CCS_EXPECTS(v >= 0 && v < static_cast<NodeId>(q_.size()), "node id out of range");
+    return q_[static_cast<std::size_t>(v)];
+  }
+
+  /// Tokens crossing edge e per steady-state iteration
+  /// (= q(src) * out_rate = q(dst) * in_rate).
+  std::int64_t edge_tokens(EdgeId e) const {
+    CCS_EXPECTS(e >= 0 && e < static_cast<EdgeId>(edge_tokens_.size()),
+                "edge id out of range");
+    return edge_tokens_[static_cast<std::size_t>(e)];
+  }
+
+  /// Total firings across all modules in one iteration.
+  std::int64_t total_firings() const noexcept { return total_; }
+
+  const std::vector<std::int64_t>& counts() const noexcept { return q_; }
+
+ private:
+  std::vector<std::int64_t> q_;
+  std::vector<std::int64_t> edge_tokens_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace ccs::sdf

@@ -1,0 +1,91 @@
+#include "sdf/serialize.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ccs::sdf {
+
+void write_graph(const SdfGraph& g, std::ostream& os) {
+  os << "# ccs streaming graph: " << g.node_count() << " modules, " << g.edge_count()
+     << " channels\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "node " << g.node(v).name << " state=" << g.node(v).state << '\n';
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    os << "edge " << g.node(edge.src).name << " -> " << g.node(edge.dst).name
+       << " out=" << edge.out_rate << " in=" << edge.in_rate << '\n';
+  }
+}
+
+std::string to_text(const SdfGraph& g) {
+  std::ostringstream os;
+  write_graph(g, os);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw ParseError("line " + std::to_string(line) + ": " + msg);
+}
+
+/// Parses "key=value" returning value; fails if the key does not match.
+std::int64_t parse_kv(const std::string& token, const std::string& key, int line) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) fail(line, "expected '" + key + "=<int>', got '" + token + "'");
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(token.substr(prefix.size()), &pos);
+    if (pos != token.size() - prefix.size()) fail(line, "trailing junk in '" + token + "'");
+    return v;
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(line, "bad integer in '" + token + "'");
+  }
+}
+
+}  // namespace
+
+SdfGraph read_graph(std::istream& is) {
+  SdfGraph g;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    if (kind == "node") {
+      std::string name, state_kv;
+      if (!(ls >> name >> state_kv)) fail(line_no, "expected 'node <name> state=<words>'");
+      g.add_node(name, parse_kv(state_kv, "state", line_no));
+    } else if (kind == "edge") {
+      std::string src, arrow, dst, out_kv, in_kv;
+      if (!(ls >> src >> arrow >> dst >> out_kv >> in_kv) || arrow != "->") {
+        fail(line_no, "expected 'edge <src> -> <dst> out=<rate> in=<rate>'");
+      }
+      const NodeId s = g.find_node(src);
+      const NodeId d = g.find_node(dst);
+      if (s == kInvalidNode) fail(line_no, "unknown module '" + src + "'");
+      if (d == kInvalidNode) fail(line_no, "unknown module '" + dst + "'");
+      g.add_edge(s, d, parse_kv(out_kv, "out", line_no), parse_kv(in_kv, "in", line_no));
+    } else {
+      fail(line_no, "unknown declaration '" + kind + "'");
+    }
+    std::string extra;
+    if (ls >> extra) fail(line_no, "trailing junk '" + extra + "'");
+  }
+  return g;
+}
+
+SdfGraph from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_graph(is);
+}
+
+}  // namespace ccs::sdf

@@ -1,0 +1,33 @@
+// Textual serialization of streaming graphs.
+//
+// Format (one declaration per line, '#' comments, blank lines ignored):
+//
+//   node <name> state=<words>
+//   edge <src> -> <dst> out=<rate> in=<rate>
+//
+// Nodes must be declared before edges that reference them. The writer emits
+// nodes in id order and edges in id order, so write/read round-trips
+// preserve ids exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sdf/graph.h"
+
+namespace ccs::sdf {
+
+/// Serializes `g` to the text format.
+void write_graph(const SdfGraph& g, std::ostream& os);
+
+/// Convenience: serialization as a string.
+std::string to_text(const SdfGraph& g);
+
+/// Parses the text format. Throws ParseError with a line number on malformed
+/// input; node/edge semantic errors surface as GraphError/RateError.
+SdfGraph read_graph(std::istream& is);
+
+/// Convenience: parse from a string.
+SdfGraph from_text(const std::string& text);
+
+}  // namespace ccs::sdf

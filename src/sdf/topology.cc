@@ -1,0 +1,123 @@
+#include "sdf/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace ccs::sdf {
+
+std::vector<NodeId> topological_sort(const SdfGraph& g) {
+  const std::int32_t n = g.node_count();
+  std::vector<std::int32_t> indegree(static_cast<std::size_t>(n), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    ++indegree[static_cast<std::size_t>(g.edge(e).dst)];
+  }
+  // Min-heap on node id keeps the order deterministic.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indegree[static_cast<std::size_t>(v)] == 0) ready.push(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const NodeId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (const EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).dst;
+      if (--indegree[static_cast<std::size_t>(w)] == 0) ready.push(w);
+    }
+  }
+  if (static_cast<std::int32_t>(order.size()) != n) {
+    throw GraphError("graph contains a directed cycle");
+  }
+  return order;
+}
+
+bool is_acyclic(const SdfGraph& g) {
+  try {
+    (void)topological_sort(g);
+    return true;
+  } catch (const GraphError&) {
+    return false;
+  }
+}
+
+Reachability::Reachability(const SdfGraph& g) : n_(g.node_count()) {
+  const auto words = static_cast<std::size_t>((n_ + 63) / 64);
+  bits_.assign(static_cast<std::size_t>(n_), std::vector<std::uint64_t>(words, 0));
+  const auto order = topological_sort(g);
+  // Process in reverse topological order: successors' sets are complete.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId u = *it;
+    auto& row = bits_[static_cast<std::size_t>(u)];
+    for (const EdgeId e : g.out_edges(u)) {
+      const NodeId w = g.edge(e).dst;
+      row[static_cast<std::size_t>(w) >> 6] |= 1ULL << (static_cast<std::size_t>(w) & 63);
+      const auto& succ = bits_[static_cast<std::size_t>(w)];
+      for (std::size_t i = 0; i < words; ++i) row[i] |= succ[i];
+    }
+  }
+}
+
+std::vector<ContractedEdge> contract(const SdfGraph& g,
+                                     const std::vector<std::int32_t>& assignment,
+                                     std::int32_t num_components) {
+  CCS_EXPECTS(static_cast<std::int32_t>(assignment.size()) == g.node_count(),
+              "assignment size must equal node count");
+  std::vector<ContractedEdge> cross;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const std::int32_t cs = assignment[static_cast<std::size_t>(edge.src)];
+    const std::int32_t cd = assignment[static_cast<std::size_t>(edge.dst)];
+    CCS_EXPECTS(cs >= 0 && cs < num_components && cd >= 0 && cd < num_components,
+                "component id out of range");
+    if (cs != cd) cross.push_back(ContractedEdge{cs, cd, e});
+  }
+  return cross;
+}
+
+bool contraction_is_acyclic(const SdfGraph& g, const std::vector<std::int32_t>& assignment,
+                            std::int32_t num_components) {
+  const auto cross = contract(g, assignment, num_components);
+  // Kahn's algorithm on the contracted multigraph.
+  std::vector<std::int32_t> indegree(static_cast<std::size_t>(num_components), 0);
+  std::vector<std::vector<std::int32_t>> adj(static_cast<std::size_t>(num_components));
+  for (const auto& ce : cross) {
+    adj[static_cast<std::size_t>(ce.src_comp)].push_back(ce.dst_comp);
+    ++indegree[static_cast<std::size_t>(ce.dst_comp)];
+  }
+  std::vector<std::int32_t> stack;
+  for (std::int32_t c = 0; c < num_components; ++c) {
+    if (indegree[static_cast<std::size_t>(c)] == 0) stack.push_back(c);
+  }
+  std::int32_t seen = 0;
+  while (!stack.empty()) {
+    const std::int32_t c = stack.back();
+    stack.pop_back();
+    ++seen;
+    for (const std::int32_t d : adj[static_cast<std::size_t>(c)]) {
+      if (--indegree[static_cast<std::size_t>(d)] == 0) stack.push_back(d);
+    }
+  }
+  return seen == num_components;
+}
+
+std::vector<NodeId> pipeline_order(const SdfGraph& g) {
+  if (!g.is_pipeline()) throw GraphError("graph is not a pipeline");
+  const auto srcs = g.sources();
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.node_count()));
+  NodeId v = srcs.front();
+  order.push_back(v);
+  while (!g.out_edges(v).empty()) {
+    v = g.edge(g.out_edges(v).front()).dst;
+    order.push_back(v);
+  }
+  CCS_ENSURES(static_cast<std::int32_t>(order.size()) == g.node_count(),
+              "pipeline chain must cover all modules");
+  return order;
+}
+
+}  // namespace ccs::sdf

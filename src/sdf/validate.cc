@@ -1,0 +1,57 @@
+#include "sdf/validate.h"
+
+#include <sstream>
+
+#include "sdf/gain.h"
+#include "sdf/topology.h"
+#include "util/error.h"
+
+namespace ccs::sdf {
+
+std::vector<std::string> validate(const SdfGraph& g, const ValidationOptions& opts) {
+  std::vector<std::string> problems;
+  if (g.node_count() == 0) {
+    problems.push_back("graph has no modules");
+    return problems;
+  }
+  if (!is_acyclic(g)) {
+    problems.push_back("graph contains a directed cycle");
+    return problems;  // everything downstream assumes a dag
+  }
+  const auto sources = g.sources();
+  const auto sinks = g.sinks();
+  if (opts.require_single_source && sources.size() != 1) {
+    problems.push_back("expected exactly one source, found " + std::to_string(sources.size()));
+  }
+  if (opts.require_single_sink && sinks.size() != 1) {
+    problems.push_back("expected exactly one sink, found " + std::to_string(sinks.size()));
+  }
+  if (opts.max_module_state > 0) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (g.node(v).state > opts.max_module_state) {
+        problems.push_back("module '" + g.node(v).name + "' state " +
+                           std::to_string(g.node(v).state) + " exceeds cache size " +
+                           std::to_string(opts.max_module_state));
+      }
+    }
+  }
+  if (opts.require_rate_matched && sources.size() == 1) {
+    try {
+      GainMap gains(g);
+    } catch (const Error& e) {
+      problems.push_back(e.what());
+    }
+  }
+  return problems;
+}
+
+void validate_or_throw(const SdfGraph& g, const ValidationOptions& opts) {
+  const auto problems = validate(g, opts);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid streaming graph (" << problems.size() << " problem(s)):";
+  for (const auto& p : problems) os << "\n  - " << p;
+  throw GraphError(os.str());
+}
+
+}  // namespace ccs::sdf

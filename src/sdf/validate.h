@@ -1,0 +1,26 @@
+// One-call structural + rate validation with aggregated error reporting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdf/graph.h"
+
+namespace ccs::sdf {
+
+/// What to require of a graph before scheduling it.
+struct ValidationOptions {
+  bool require_single_source = true;  ///< Paper's w.l.o.g. assumption.
+  bool require_single_sink = true;    ///< Paper's w.l.o.g. assumption.
+  bool require_rate_matched = true;   ///< Needed for bounded-buffer schedules.
+  std::int64_t max_module_state = 0;  ///< If > 0, every s(v) must be <= this (the
+                                      ///< paper requires s(v) <= M).
+};
+
+/// All problems found, empty when the graph is valid.
+std::vector<std::string> validate(const SdfGraph& g, const ValidationOptions& opts);
+
+/// Throws GraphError listing every problem; no-op when valid.
+void validate_or_throw(const SdfGraph& g, const ValidationOptions& opts);
+
+}  // namespace ccs::sdf

@@ -1,0 +1,61 @@
+// Error hierarchy for the ccs library.
+//
+// Contract violations (programming errors) throw ccs::ContractViolation; the
+// exceptions below report *input* problems -- malformed graphs, infeasible
+// schedules, deadlocks -- that a caller can meaningfully catch and handle.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccs {
+
+/// Base class for all recoverable ccs errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A structurally invalid streaming graph (cycles, dangling edges, bad ids).
+class GraphError : public Error {
+ public:
+  explicit GraphError(const std::string& what) : Error(what) {}
+};
+
+/// A graph whose rates are inconsistent (not rate matched) or non-positive.
+class RateError : public Error {
+ public:
+  explicit RateError(const std::string& what) : Error(what) {}
+};
+
+/// A schedule that violates firing rules (buffer underflow/overflow).
+class ScheduleError : public Error {
+ public:
+  explicit ScheduleError(const std::string& what) : Error(what) {}
+};
+
+/// Execution can make no progress (insufficient buffers or circular waits).
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid cache/memory configuration or layout overflow.
+class MemoryError : public Error {
+ public:
+  explicit MemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Arithmetic overflow in exact rational/integer computations.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed textual graph description.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace ccs

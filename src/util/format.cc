@@ -1,0 +1,37 @@
+#include "util/format.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace ccs {
+
+std::string format_count(std::int64_t v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run == 3) {
+      out += ',';
+      run = 0;
+    }
+    out += *it;
+    ++run;
+  }
+  if (neg) out += '-';
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_words(std::int64_t words) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  const double w = static_cast<double>(words);
+  if (words < 1024) os << words << " w";
+  else if (w < 1024.0 * 1024.0) os << w / 1024.0 << " Kw";
+  else os << w / (1024.0 * 1024.0) << " Mw";
+  return os.str();
+}
+
+}  // namespace ccs

@@ -1,0 +1,15 @@
+// Human-readable formatting of counts and sizes for logs and tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ccs {
+
+/// 1234567 -> "1,234,567".
+std::string format_count(std::int64_t v);
+
+/// Words -> "12 w", "4.0 Kw", "2.5 Mw" (sizes in this library are in words).
+std::string format_words(std::int64_t words);
+
+}  // namespace ccs

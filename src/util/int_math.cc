@@ -1,0 +1,32 @@
+#include "util/int_math.h"
+
+#include <limits>
+#include <string>
+
+namespace ccs {
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t result = 0;
+  if (__builtin_mul_overflow(a, b, &result)) {
+    throw OverflowError("integer overflow in " + std::to_string(a) + " * " +
+                        std::to_string(b));
+  }
+  return result;
+}
+
+std::int64_t checked_add(std::int64_t a, std::int64_t b) {
+  std::int64_t result = 0;
+  if (__builtin_add_overflow(a, b, &result)) {
+    throw OverflowError("integer overflow in " + std::to_string(a) + " + " +
+                        std::to_string(b));
+  }
+  return result;
+}
+
+std::int64_t checked_lcm(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  const std::int64_t g = gcd64(a < 0 ? -a : a, b < 0 ? -b : b);
+  return checked_mul(a / g, b);
+}
+
+}  // namespace ccs

@@ -1,0 +1,43 @@
+// Checked 64-bit integer arithmetic helpers.
+//
+// Gains, repetition vectors, and buffer sizes are products of user-supplied
+// rates; silent wraparound would corrupt partitioning decisions, so every
+// multiplication and addition that can grow goes through the checked helpers
+// here (throwing ccs::OverflowError).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace ccs {
+
+/// Greatest common divisor of non-negative values; gcd(0, x) == x.
+constexpr std::int64_t gcd64(std::int64_t a, std::int64_t b) noexcept {
+  return std::gcd(a, b);
+}
+
+/// a * b with overflow detection.
+std::int64_t checked_mul(std::int64_t a, std::int64_t b);
+
+/// a + b with overflow detection.
+std::int64_t checked_add(std::int64_t a, std::int64_t b);
+
+/// Least common multiple with overflow detection; lcm(0, x) == 0.
+std::int64_t checked_lcm(std::int64_t a, std::int64_t b);
+
+/// ceil(a / b) for a >= 0, b > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Smallest multiple of `align` that is >= `v` (v >= 0, align > 0).
+constexpr std::int64_t round_up(std::int64_t v, std::int64_t align) noexcept {
+  return ceil_div(v, align) * align;
+}
+
+/// True if v is a power of two (v > 0).
+constexpr bool is_pow2(std::int64_t v) noexcept { return v > 0 && (v & (v - 1)) == 0; }
+
+}  // namespace ccs

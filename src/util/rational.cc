@@ -1,0 +1,108 @@
+#include "util/rational.h"
+
+#include <limits>
+#include <ostream>
+
+namespace ccs {
+
+namespace {
+
+Int128 gcd128(Int128 a, Int128 b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+constexpr Int128 kI64Min = std::numeric_limits<std::int64_t>::min();
+constexpr Int128 kI64Max = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+Rational Rational::from_i128(Int128 num, Int128 den) {
+  if (den == 0) throw RateError("rational with zero denominator");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) return Rational();
+  const Int128 g = gcd128(num, den);
+  num /= g;
+  den /= g;
+  if (num < kI64Min || num > kI64Max || den > kI64Max) {
+    throw OverflowError("rational overflow after normalization");
+  }
+  Rational r;
+  r.num_ = static_cast<std::int64_t>(num);
+  r.den_ = static_cast<std::int64_t>(den);
+  return r;
+}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(0), den_(1) {
+  *this = from_i128(num, den);
+}
+
+std::int64_t Rational::floor() const noexcept {
+  if (num_ >= 0) return num_ / den_;
+  return -((-num_ + den_ - 1) / den_);
+}
+
+std::int64_t Rational::ceil() const noexcept {
+  if (num_ >= 0) return (num_ + den_ - 1) / den_;
+  return -((-num_) / den_);
+}
+
+Rational Rational::reciprocal() const {
+  if (num_ == 0) throw RateError("reciprocal of zero");
+  return from_i128(den_, num_);
+}
+
+Rational Rational::operator-() const { return from_i128(-static_cast<Int128>(num_), den_); }
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  *this = from_i128(static_cast<Int128>(num_) * rhs.den_ +
+                        static_cast<Int128>(rhs.num_) * den_,
+                    static_cast<Int128>(den_) * rhs.den_);
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  *this = from_i128(static_cast<Int128>(num_) * rhs.den_ -
+                        static_cast<Int128>(rhs.num_) * den_,
+                    static_cast<Int128>(den_) * rhs.den_);
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  *this = from_i128(static_cast<Int128>(num_) * rhs.num_,
+                    static_cast<Int128>(den_) * rhs.den_);
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.num_ == 0) throw RateError("division of rational by zero");
+  *this = from_i128(static_cast<Int128>(num_) * rhs.den_,
+                    static_cast<Int128>(den_) * rhs.num_);
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) noexcept {
+  const Int128 lhs = static_cast<Int128>(a.num_) * b.den_;
+  const Int128 rhs = static_cast<Int128>(b.num_) * a.den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) { return os << r.to_string(); }
+
+}  // namespace ccs

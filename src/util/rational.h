@@ -1,0 +1,86 @@
+// Exact rational arithmetic for stream gains.
+//
+// The gain of a module is a product of out/in rate ratios along a path from
+// the source (Definition 1 of the paper). Partitioning decisions compare and
+// sum gains, and the gain-minimizing edge of a pipeline segment must be found
+// *exactly*: floating point would mis-rank edges whose gains differ by tiny
+// relative amounts after long chains of multiplications. Rational keeps
+// int64 numerator/denominator in lowest terms and uses __int128 intermediates
+// so products of realistic rate chains cannot silently overflow.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/error.h"
+
+namespace ccs {
+
+// __int128 is a GCC/Clang extension; silence -Wpedantic at the declaration.
+__extension__ typedef __int128 Int128;
+
+/// An exact rational number. Always normalized: gcd(num, den) == 1, den > 0.
+/// Arithmetic throws ccs::OverflowError if a result cannot be represented in
+/// 64 bits after normalization.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+
+  /// Integer value.
+  constexpr Rational(std::int64_t value) noexcept : num_(value), den_(1) {}  // NOLINT
+
+  /// num/den reduced to lowest terms. Throws RateError if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  constexpr std::int64_t num() const noexcept { return num_; }
+  constexpr std::int64_t den() const noexcept { return den_; }
+
+  bool is_integer() const noexcept { return den_ == 1; }
+  bool is_zero() const noexcept { return num_ == 0; }
+  bool is_positive() const noexcept { return num_ > 0; }
+
+  /// Numeric value as double (for reporting only; never for decisions).
+  double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Largest integer <= value.
+  std::int64_t floor() const noexcept;
+  /// Smallest integer >= value.
+  std::int64_t ceil() const noexcept;
+
+  /// Multiplicative inverse. Throws RateError when zero.
+  Rational reciprocal() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational lhs, const Rational& rhs) { return lhs += rhs; }
+  friend Rational operator-(Rational lhs, const Rational& rhs) { return lhs -= rhs; }
+  friend Rational operator*(Rational lhs, const Rational& rhs) { return lhs *= rhs; }
+  friend Rational operator/(Rational lhs, const Rational& rhs) { return lhs /= rhs; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a, const Rational& b) noexcept;
+
+  /// "3/4", or "3" when integral.
+  std::string to_string() const;
+
+ private:
+  static Rational from_i128(Int128 num, Int128 den);
+
+  std::int64_t num_;
+  std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace ccs

@@ -1,0 +1,31 @@
+#include "util/stats.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+
+namespace ccs {
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double v : values) {
+    CCS_EXPECTS(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  const double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(values.begin(),
+                                      values.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace ccs

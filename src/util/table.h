@@ -1,0 +1,61 @@
+// Aligned console tables + CSV output for the experiment harness.
+//
+// Every bench binary prints its results through Table so experiment output
+// has a uniform, grep-able format: a title line, a header row, aligned data
+// rows, and (optionally) a CSV dump for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ccs {
+
+/// Column alignment for console rendering.
+enum class Align { kLeft, kRight };
+
+/// A simple string-celled table builder.
+///
+/// Usage:
+///   Table t("E1: misses vs cache size");
+///   t.set_header({"M", "naive", "partitioned", "ratio"});
+///   t.add_row({"4096", "120000", "9100", "13.2"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Column names; must be set before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Per-column alignment; default is right-aligned for all columns.
+  void set_align(std::vector<Align> align);
+
+  /// Append one data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  const std::string& title() const noexcept { return title_; }
+
+  /// Render with box-drawing-free ASCII alignment.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header + rows, comma separated, minimal quoting).
+  void print_csv(std::ostream& os) const;
+
+  /// Helpers to format numeric cells consistently across benches.
+  static std::string num(std::int64_t v);
+  static std::string num(double v, int precision = 2);
+  static std::string ratio(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccs

@@ -1,0 +1,44 @@
+// Synthetic pipeline workloads.
+//
+// Pipelines (single directed chains) are the class for which the paper gives
+// a complete, polynomial-time solution (Section 4). The generators here
+// produce the families used by experiments E1-E4:
+//  * uniform      -- identical modules; partitioning reduces to bin packing.
+//  * random       -- random states and rates; general-position instances.
+//  * hourglass    -- decimate-then-interpolate gain profile, where gains dip
+//                    in the middle; cutting at gain-minimizing edges beats
+//                    state-balanced cutting, exercising Theorem 5's cut rule.
+//  * heavy_tail   -- few large-state modules among many small ones, making
+//                    the c-bounded constraint bind in interesting places.
+//
+// All generated pipelines have the chain topology src = m0 -> m1 -> ... ->
+// m(n-1) = sink and are rate matched by construction (any chain is).
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/graph.h"
+#include "util/rng.h"
+
+namespace ccs::workloads {
+
+/// n identical modules of `state` words; every edge has rates (out, in) =
+/// (rate, rate). Requires n >= 2.
+sdf::SdfGraph uniform_pipeline(std::int32_t n, std::int64_t state, std::int64_t rate = 1);
+
+/// Random pipeline: states uniform in [state_lo, state_hi], edge rates
+/// uniform in [1, max_rate] independently per endpoint.
+sdf::SdfGraph random_pipeline(std::int32_t n, std::int64_t state_lo, std::int64_t state_hi,
+                              std::int64_t max_rate, Rng& rng);
+
+/// Decimate-then-interpolate pipeline: the first half of the edges each
+/// consume `factor` tokens per firing and emit 1 (gain shrinks by factor per
+/// stage); the second half mirror this (1 in, `factor` out). Token traffic
+/// is lowest at the waist, so the optimal cuts cluster there.
+sdf::SdfGraph hourglass_pipeline(std::int32_t n, std::int64_t state, std::int64_t factor);
+
+/// Mostly `small_state` modules with every k-th module of `large_state`.
+sdf::SdfGraph heavy_tail_pipeline(std::int32_t n, std::int64_t small_state,
+                                  std::int64_t large_state, std::int32_t every_k);
+
+}  // namespace ccs::workloads

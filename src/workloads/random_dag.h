@@ -1,0 +1,45 @@
+// Random streaming-dag workloads.
+//
+// Two families:
+//  * layered homogeneous dags -- all rates 1 (the setting of Theorem 7).
+//    Source -> L layers of W modules -> sink, with random inter-layer edges
+//    plus a guaranteed covering so every module is on a source-sink path.
+//  * series-parallel multirate dags -- recursively composed fragments with a
+//    single entry and exit. Series edges carry random rates; every parallel
+//    branch is built with unit internal gain so the join's consumption rates
+//    stay equal to the split's production rates, keeping the whole graph
+//    rate matched with small integral rates.
+#pragma once
+
+#include <cstdint>
+
+#include "sdf/graph.h"
+#include "util/rng.h"
+
+namespace ccs::workloads {
+
+/// Parameters for layered homogeneous dags.
+struct LayeredSpec {
+  std::int32_t layers = 4;        ///< Interior layers (excluding source/sink).
+  std::int32_t width = 4;         ///< Modules per interior layer.
+  double edge_prob = 0.3;         ///< Probability of each extra inter-layer edge.
+  std::int64_t state_lo = 64;     ///< Module state lower bound (words).
+  std::int64_t state_hi = 256;    ///< Module state upper bound (words).
+};
+
+/// Homogeneous (all rates 1) layered dag with a single source and sink.
+sdf::SdfGraph layered_homogeneous_dag(const LayeredSpec& spec, Rng& rng);
+
+/// Parameters for series-parallel multirate dags.
+struct SeriesParallelSpec {
+  std::int32_t target_nodes = 24;  ///< Approximate module count.
+  std::int32_t max_branches = 3;   ///< Max fan-out of a parallel composition.
+  std::int64_t max_rate = 4;       ///< Rates drawn from [1, max_rate].
+  std::int64_t state_lo = 64;
+  std::int64_t state_hi = 256;
+};
+
+/// Rate-matched multirate series-parallel dag with single source and sink.
+sdf::SdfGraph series_parallel_dag(const SeriesParallelSpec& spec, Rng& rng);
+
+}  // namespace ccs::workloads

@@ -1,0 +1,156 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "schedule/naive.h"
+#include "schedule/validate.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/pipelines.h"
+#include "workloads/random_dag.h"
+#include "workloads/streamit.h"
+
+namespace ccs::core {
+namespace {
+
+PlannerOptions small_cache() {
+  PlannerOptions opts;
+  opts.cache.capacity_words = 512;
+  opts.cache.block_words = 8;
+  return opts;
+}
+
+TEST(Planner, AutoPicksPipelineDpForPipelines) {
+  const auto g = ccs::workloads::uniform_pipeline(12, 200);
+  const auto plan = core::plan(g, small_cache());
+  EXPECT_EQ(plan.partitioner_name, "pipeline-dp");
+  EXPECT_TRUE(schedule::check_schedule(g, plan.schedule).ok);
+  EXPECT_GT(plan.batch_t, 0);
+}
+
+TEST(Planner, AutoPicksExactForSmallDags) {
+  Rng rng(71);
+  ccs::workloads::LayeredSpec spec;
+  spec.layers = 3;
+  spec.width = 3;
+  spec.state_lo = 50;
+  spec.state_hi = 120;
+  const auto g = layered_homogeneous_dag(spec, rng);
+  const auto plan = core::plan(g, small_cache());
+  EXPECT_EQ(plan.partitioner_name, "exact");
+  EXPECT_TRUE(schedule::check_schedule(g, plan.schedule).ok);
+}
+
+TEST(Planner, AutoPicksRefinedForLargeDags) {
+  const auto g = ccs::workloads::fm_radio(10);  // 25 nodes > exact threshold
+  auto opts = small_cache();
+  opts.cache.capacity_words = 1024;
+  const auto plan = core::plan(g, opts);
+  EXPECT_EQ(plan.partitioner_name, "dag-refined");
+  EXPECT_TRUE(schedule::check_schedule(g, plan.schedule).ok);
+}
+
+TEST(Planner, AllExplicitPartitionersWork) {
+  const auto g = ccs::workloads::uniform_pipeline(12, 200);
+  for (const auto kind :
+       {PartitionerKind::kPipelineDp, PartitionerKind::kPipelineGreedy,
+        PartitionerKind::kDagGreedy, PartitionerKind::kDagGreedyGain,
+        PartitionerKind::kDagRefined, PartitionerKind::kExact}) {
+    auto opts = small_cache();
+    opts.partitioner = kind;
+    const auto plan = core::plan(g, opts);
+    EXPECT_TRUE(schedule::check_schedule(g, plan.schedule).ok)
+        << "partitioner " << static_cast<int>(kind);
+    EXPECT_TRUE(partition::is_well_ordered(g, plan.partition));
+  }
+}
+
+TEST(Planner, RejectsInvalidGraphs) {
+  sdf::SdfGraph empty;
+  EXPECT_THROW(core::plan(empty, small_cache()), GraphError);
+
+  sdf::SdfGraph oversized;
+  oversized.add_node("a", 100000);
+  oversized.add_node("b", 8);
+  oversized.add_edge(0, 1, 1, 1);
+  EXPECT_THROW(core::plan(oversized, small_cache()), GraphError);
+}
+
+TEST(Planner, PredictionPopulated) {
+  const auto g = ccs::workloads::uniform_pipeline(12, 200);
+  const auto plan = core::plan(g, small_cache());
+  EXPECT_GT(plan.predicted.misses_per_input, 0.0);
+  EXPECT_GE(plan.partition_bandwidth, Rational(0));
+}
+
+TEST(Simulate, ReachesOutputTarget) {
+  const auto g = ccs::workloads::uniform_pipeline(8, 64);
+  const auto s = schedule::naive_minimal_buffer_schedule(g);
+  const auto r = core::simulate(g, s, iomodel::CacheConfig{512, 8}, 500);
+  EXPECT_GE(r.sink_firings, 500);
+  EXPECT_GT(r.cache.misses, 0);
+}
+
+TEST(Simulate, PartitionedBeatsNaiveWhenStateExceedsCache) {
+  // 16 modules x 200 words = 3200 words total state against a 512-word
+  // cache: naive reloads everything every iteration, partitioned amortizes.
+  const auto g = ccs::workloads::uniform_pipeline(16, 200);
+  const auto opts = small_cache();
+  const auto plan = core::plan(g, opts);
+  const auto naive = schedule::naive_minimal_buffer_schedule(g);
+
+  // Partitioned runs on the augmented cache (c * M), per Theorem 5's
+  // memory-augmentation guarantee; naive gets the same augmented cache.
+  const iomodel::CacheConfig sim_cache{4 * opts.cache.capacity_words,
+                                       opts.cache.block_words};
+  const std::int64_t target = 4096;
+  const auto r_part = core::simulate(g, plan.schedule, sim_cache, target);
+  const auto r_naive = core::simulate(g, naive, sim_cache, target);
+  EXPECT_LT(r_part.misses_per_output() * 2, r_naive.misses_per_output());
+}
+
+TEST(Simulate, MergeAccumulates) {
+  runtime::RunResult a;
+  a.cache.misses = 10;
+  a.firings = 5;
+  a.node_misses = {1, 2};
+  runtime::RunResult b;
+  b.cache.misses = 7;
+  b.firings = 3;
+  b.node_misses = {4, 4};
+  const auto m = core::merge(a, b);
+  EXPECT_EQ(m.cache.misses, 17);
+  EXPECT_EQ(m.firings, 8);
+  EXPECT_EQ(m.node_misses, (std::vector<std::int64_t>{5, 6}));
+}
+
+TEST(Planner, ExplainMentionsEveryComponentAndModule) {
+  const auto g = ccs::workloads::uniform_pipeline(8, 200);
+  const auto plan = core::plan(g, small_cache());
+  const auto text = core::explain(g, plan);
+  EXPECT_NE(text.find("partitioner : pipeline-dp"), std::string::npos);
+  EXPECT_NE(text.find("batch T"), std::string::npos);
+  for (sdf::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_NE(text.find(g.node(v).name), std::string::npos) << g.node(v).name;
+  }
+  for (std::int32_t c = 0; c < plan.partition.num_components; ++c) {
+    EXPECT_NE(text.find("V" + std::to_string(c)), std::string::npos);
+  }
+}
+
+TEST(Simulate, MeasuredCostNearPrediction) {
+  const auto g = ccs::workloads::uniform_pipeline(16, 200);
+  const auto opts = small_cache();
+  const auto plan = core::plan(g, opts);
+  const iomodel::CacheConfig sim_cache{4 * opts.cache.capacity_words,
+                                       opts.cache.block_words};
+  const auto r = core::simulate(g, plan.schedule, sim_cache, 2048);
+  const double measured = r.misses_per_input();
+  const double predicted = plan.predicted.misses_per_input;
+  // Same order of magnitude: the model ignores external IO and cold misses.
+  EXPECT_LT(measured, predicted * 4 + 1.0);
+  EXPECT_GT(measured * 8, predicted);
+}
+
+}  // namespace
+}  // namespace ccs::core

@@ -1,0 +1,71 @@
+#include "iomodel/opt_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "iomodel/cache.h"
+#include "iomodel/trace.h"
+#include "util/rng.h"
+
+namespace ccs::iomodel {
+namespace {
+
+TEST(OptCache, ColdMissesOnly) {
+  EXPECT_EQ(opt_misses({1, 2, 3, 1, 2, 3}, 3), 3);
+}
+
+TEST(OptCache, ClassicBeladyExample) {
+  // Capacity 3, trace 1 2 3 4 1 2 5 1 2 3 4 5: OPT misses 7.
+  const std::vector<BlockId> trace{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5};
+  EXPECT_EQ(opt_misses(trace, 3), 7);
+}
+
+TEST(OptCache, CapacityOneMissesEveryChange) {
+  EXPECT_EQ(opt_misses({1, 1, 2, 2, 1}, 1), 3);
+}
+
+TEST(OptCache, EmptyTrace) { EXPECT_EQ(opt_misses({}, 4), 0); }
+
+TEST(OptCache, NeverWorseThanLruOnRandomTraces) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<BlockId> trace;
+    for (int i = 0; i < 3000; ++i) trace.push_back(rng.uniform(0, 40));
+    const std::int64_t capacity = 8;
+    LruCache lru(CacheConfig{capacity * 8, 8});
+    for (const BlockId b : trace) lru.access(b * 8, AccessMode::kRead);
+    EXPECT_LE(opt_misses(trace, capacity), lru.stats().misses) << "trial " << trial;
+  }
+}
+
+TEST(OptCache, SleatorTarjanResourceAugmentation) {
+  // LRU with 2k capacity incurs at most ~2x the misses of OPT with k
+  // (k/(2k-k+1) * OPT + k cold misses). Verify the bound empirically.
+  Rng rng(99);
+  std::vector<BlockId> trace;
+  for (int i = 0; i < 5000; ++i) trace.push_back(rng.uniform(0, 30));
+  const std::int64_t k = 8;
+  LruCache lru(CacheConfig{2 * k * 8, 8});
+  for (const BlockId b : trace) lru.access(b * 8, AccessMode::kRead);
+  const auto opt = opt_misses(trace, k);
+  EXPECT_LE(static_cast<double>(lru.stats().misses),
+            2.0 * static_cast<double>(opt) + 2.0 * static_cast<double>(k));
+}
+
+TEST(ToBlockTrace, DividesByBlockSize) {
+  const auto blocks = to_block_trace({0, 7, 8, 15, 16}, 8);
+  EXPECT_EQ(blocks, (std::vector<BlockId>{0, 0, 1, 1, 2}));
+}
+
+TEST(RecordingCache, CapturesAddressStream) {
+  LruCache inner(CacheConfig{64, 8});
+  RecordingCache rec(inner);
+  rec.access(5, AccessMode::kRead);
+  rec.access(13, AccessMode::kWrite);
+  EXPECT_EQ(rec.trace(), (std::vector<Addr>{5, 13}));
+  EXPECT_EQ(rec.stats().misses, 2);  // forwarded to inner
+  rec.clear_trace();
+  EXPECT_TRUE(rec.trace().empty());
+}
+
+}  // namespace
+}  // namespace ccs::iomodel

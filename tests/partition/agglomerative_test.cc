@@ -1,0 +1,111 @@
+#include "partition/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/dag_exact.h"
+#include "partition/dag_greedy.h"
+#include "sdf/gain.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/pipelines.h"
+#include "workloads/random_dag.h"
+#include "workloads/streamit.h"
+
+namespace ccs::partition {
+namespace {
+
+TEST(Agglomerative, ValidOnEveryStreamItApp) {
+  for (const auto& app : ccs::workloads::streamit_suite()) {
+    const auto& g = app.graph;
+    const std::int64_t bound = std::max<std::int64_t>(g.total_state() / 3, g.max_state());
+    const auto p = agglomerative_partition(g, bound);
+    EXPECT_TRUE(validate_partition(g, p).empty()) << app.name;
+    EXPECT_TRUE(is_well_ordered(g, p)) << app.name;
+    EXPECT_TRUE(is_bounded(g, p, bound)) << app.name;
+  }
+}
+
+TEST(Agglomerative, KeepsHeaviestEdgesInternal) {
+  // Chain with one high-gain hot edge: the cluster must absorb it first.
+  sdf::SdfGraph g;
+  for (int i = 0; i < 6; ++i) g.add_node("m" + std::to_string(i), 50);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(1, 2, 8, 1);   // gain 8 -- hottest edge
+  g.add_edge(2, 3, 1, 8);   // gain 8 too (8 tokens cross per source firing)
+  g.add_edge(3, 4, 1, 1);
+  g.add_edge(4, 5, 1, 1);
+  const auto p = agglomerative_partition(g, 150);  // 3 modules max
+  // Modules 1,2,3 carry the hot edges; they must share a component.
+  EXPECT_EQ(p.comp(1), p.comp(2));
+  EXPECT_EQ(p.comp(2), p.comp(3));
+}
+
+TEST(Agglomerative, CompetitiveWithGreedyAcrossSeeds) {
+  Rng rng(808);
+  int wins = 0;
+  int rounds = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    ccs::workloads::SeriesParallelSpec spec;
+    spec.target_nodes = 26;
+    const auto g = ccs::workloads::series_parallel_dag(spec, rng);
+    const sdf::GainMap gains(g);
+    const std::int64_t bound = 700;
+    const auto agg = agglomerative_partition(g, bound);
+    const auto greedy = dag_greedy_gain_partition(g, bound);
+    ++rounds;
+    if (!(bandwidth(g, gains, greedy) < bandwidth(g, gains, agg))) ++wins;
+  }
+  // Clustering should at least match the packing greedy most of the time.
+  EXPECT_GE(wins * 2, rounds);
+}
+
+TEST(Agglomerative, NearExactOnSmallDags) {
+  Rng rng(809);
+  ccs::workloads::LayeredSpec spec;
+  spec.layers = 3;
+  spec.width = 3;
+  spec.state_lo = 60;
+  spec.state_hi = 140;
+  const auto g = ccs::workloads::layered_homogeneous_dag(spec, rng);
+  const sdf::GainMap gains(g);
+  const std::int64_t bound = 420;
+  ExactOptions eopts;
+  eopts.state_bound = bound;
+  const auto exact = dag_exact_partition(g, eopts);
+  ASSERT_TRUE(exact.has_value());
+  const auto agg = agglomerative_partition(g, bound);
+  EXPECT_LE(bandwidth(g, gains, agg).to_double(),
+            2.0 * exact->bandwidth.to_double() + 1e-9);
+}
+
+TEST(Agglomerative, SingleComponentWhenEverythingFits) {
+  const auto g = ccs::workloads::uniform_pipeline(6, 10);
+  const auto p = agglomerative_partition(g, 1000);
+  EXPECT_EQ(p.num_components, 1);
+}
+
+TEST(Agglomerative, InfeasibleModuleThrows) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 100);
+  EXPECT_THROW(agglomerative_partition(g, 50), Error);
+}
+
+TEST(Agglomerative, RespectsWellOrderingOverGain) {
+  // Diamond where merging the source and sink would keep the hottest pair
+  // of edges internal but create a contracted cycle: the clustering must
+  // refuse it and stay acyclic.
+  sdf::SdfGraph g;
+  const auto s = g.add_node("s", 50);
+  const auto x = g.add_node("x", 200);
+  const auto y = g.add_node("y", 200);
+  const auto t = g.add_node("t", 50);
+  g.add_edge(s, x, 1, 1);
+  g.add_edge(s, y, 8, 8);
+  g.add_edge(x, t, 1, 1);
+  g.add_edge(y, t, 8, 8);
+  const auto p = agglomerative_partition(g, 250);
+  EXPECT_TRUE(is_well_ordered(g, p));
+  EXPECT_TRUE(is_bounded(g, p, 250));
+}
+
+}  // namespace
+}  // namespace ccs::partition

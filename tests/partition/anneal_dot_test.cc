@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "partition/dag_anneal.h"
+#include "partition/dag_exact.h"
+#include "partition/dag_greedy.h"
+#include "partition/dot.h"
+#include "sdf/gain.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/random_dag.h"
+#include "workloads/streamit.h"
+
+namespace ccs::partition {
+namespace {
+
+TEST(Anneal, NeverWorseThanStartAndValid) {
+  Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    workloads::SeriesParallelSpec spec;
+    spec.target_nodes = 24;
+    const auto g = workloads::series_parallel_dag(spec, rng);
+    const sdf::GainMap gains(g);
+    const std::int64_t bound = 800;
+    const auto start = dag_greedy_partition(g, bound);
+    AnnealOptions opts;
+    opts.state_bound = bound;
+    opts.iterations = 4000;
+    opts.seed = 42 + static_cast<std::uint64_t>(trial);
+    const auto annealed = anneal_partition(g, start, opts);
+    EXPECT_TRUE(validate_partition(g, annealed).empty()) << trial;
+    EXPECT_TRUE(is_well_ordered(g, annealed)) << trial;
+    EXPECT_TRUE(is_bounded(g, annealed, bound)) << trial;
+    EXPECT_LE(bandwidth(g, gains, annealed), bandwidth(g, gains, start)) << trial;
+  }
+}
+
+TEST(Anneal, DeterministicPerSeed) {
+  Rng rng(6);
+  workloads::LayeredSpec spec;
+  spec.layers = 3;
+  spec.width = 3;
+  const auto g = workloads::layered_homogeneous_dag(spec, rng);
+  const auto start = dag_greedy_partition(g, 600);
+  AnnealOptions opts;
+  opts.state_bound = 600;
+  opts.iterations = 2000;
+  opts.seed = 7;
+  const auto a = anneal_partition(g, start, opts);
+  const auto b = anneal_partition(g, start, opts);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Anneal, ApproachesExactOnSmallDags) {
+  Rng rng(7);
+  workloads::LayeredSpec spec;
+  spec.layers = 3;
+  spec.width = 3;
+  spec.state_lo = 60;
+  spec.state_hi = 140;
+  const auto g = workloads::layered_homogeneous_dag(spec, rng);
+  const sdf::GainMap gains(g);
+  const std::int64_t bound = 420;
+  ExactOptions eopts;
+  eopts.state_bound = bound;
+  const auto exact = dag_exact_partition(g, eopts);
+  ASSERT_TRUE(exact.has_value());
+  AnnealOptions aopts;
+  aopts.state_bound = bound;
+  aopts.iterations = 20000;
+  const auto annealed = anneal_partition(g, dag_greedy_partition(g, bound), aopts);
+  // Annealing must land within 2x of optimal on these easy instances.
+  EXPECT_LE(bandwidth(g, gains, annealed).to_double(),
+            2.0 * exact->bandwidth.to_double() + 1e-9);
+}
+
+TEST(Anneal, RequiresValidStart) {
+  const auto g = workloads::fm_radio(4);
+  AnnealOptions opts;
+  opts.state_bound = 100;  // start exceeds this
+  EXPECT_THROW(anneal_partition(g, Partition::whole(g), opts), ContractViolation);
+}
+
+TEST(Dot, PlainGraphContainsNodesAndEdges) {
+  const auto g = workloads::fm_radio(2);
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph stream"), std::string::npos);
+  EXPECT_NE(dot.find("\"AtoD\""), std::string::npos);
+  EXPECT_NE(dot.find("\"LowPass\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1:4\""), std::string::npos);  // decimating edge
+  EXPECT_EQ(dot.find("cluster_"), std::string::npos);       // no partition
+}
+
+TEST(Dot, PartitionedGraphHasClustersAndBoldCrossEdges) {
+  const auto g = workloads::fm_radio(2);
+  const auto p = dag_greedy_partition(g, 400);
+  ASSERT_GT(p.num_components, 1);
+  const auto dot = to_dot(g, p);
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
+}
+
+TEST(Dot, RejectsInvalidPartition) {
+  const auto g = workloads::fm_radio(2);
+  Partition bad;
+  bad.num_components = 2;
+  bad.assignment.assign(static_cast<std::size_t>(g.node_count()), 0);  // comp 1 empty
+  EXPECT_THROW(to_dot(g, bad), Error);
+}
+
+}  // namespace
+}  // namespace ccs::partition

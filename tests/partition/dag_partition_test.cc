@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "partition/dag_exact.h"
+#include "partition/dag_greedy.h"
+#include "partition/dag_refine.h"
+#include "partition/pipeline_dp.h"
+#include "sdf/gain.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/pipelines.h"
+#include "workloads/random_dag.h"
+#include "workloads/streamit.h"
+
+namespace ccs::partition {
+namespace {
+
+using sdf::NodeId;
+using sdf::SdfGraph;
+
+TEST(DagGreedy, ProducesValidBoundedPartition) {
+  Rng rng(5);
+  ccs::workloads::LayeredSpec spec;
+  spec.layers = 5;
+  spec.width = 4;
+  const auto g = layered_homogeneous_dag(spec, rng);
+  const std::int64_t bound = 600;
+  const auto p = dag_greedy_partition(g, bound);
+  EXPECT_TRUE(validate_partition(g, p).empty());
+  EXPECT_TRUE(is_well_ordered(g, p));
+  EXPECT_TRUE(is_bounded(g, p, bound));
+}
+
+TEST(DagGreedy, GainAwareVariantValidToo) {
+  Rng rng(6);
+  ccs::workloads::SeriesParallelSpec spec;
+  spec.target_nodes = 30;
+  const auto g = series_parallel_dag(spec, rng);
+  const std::int64_t bound = 700;
+  const auto p = dag_greedy_gain_partition(g, bound);
+  EXPECT_TRUE(validate_partition(g, p).empty());
+  EXPECT_TRUE(is_well_ordered(g, p));
+  EXPECT_TRUE(is_bounded(g, p, bound));
+}
+
+TEST(DagGreedy, GainAwareNeverWorseOnHourglass) {
+  // On the hourglass the cheap cuts are at the waist; the gain-aware packer
+  // should find a strictly cheaper partition than blind first-fit.
+  const auto g = ccs::workloads::hourglass_pipeline(24, 100, 2);
+  const sdf::GainMap gains(g);
+  const std::int64_t bound = 500;
+  const auto blind = dag_greedy_partition(g, bound);
+  const auto aware = dag_greedy_gain_partition(g, bound);
+  EXPECT_LE(bandwidth(g, gains, aware), bandwidth(g, gains, blind));
+}
+
+TEST(DagGreedy, InfeasibleThrows) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 100);
+  EXPECT_THROW(dag_greedy_partition(g, 50), Error);
+  EXPECT_THROW(dag_greedy_gain_partition(g, 50), Error);
+}
+
+TEST(DagRefine, NeverIncreasesBandwidthAndStaysValid) {
+  Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    ccs::workloads::SeriesParallelSpec spec;
+    spec.target_nodes = 24;
+    const auto g = series_parallel_dag(spec, rng);
+    const sdf::GainMap gains(g);
+    const std::int64_t bound = 800;
+    const auto start = dag_greedy_partition(g, bound);
+    RefineOptions opts;
+    opts.state_bound = bound;
+    const auto refined = refine_partition(g, start, opts);
+    EXPECT_TRUE(validate_partition(g, refined).empty()) << "trial " << trial;
+    EXPECT_TRUE(is_well_ordered(g, refined)) << "trial " << trial;
+    EXPECT_TRUE(is_bounded(g, refined, bound)) << "trial " << trial;
+    EXPECT_LE(bandwidth(g, gains, refined), bandwidth(g, gains, start))
+        << "trial " << trial;
+  }
+}
+
+TEST(DagRefine, CanSplitWithNewComponents) {
+  Rng rng(8);
+  ccs::workloads::LayeredSpec spec;
+  spec.layers = 3;
+  spec.width = 3;
+  const auto g = layered_homogeneous_dag(spec, rng);
+  const sdf::GainMap gains(g);
+  const std::int64_t bound = g.total_state();  // everything fits in one
+  RefineOptions opts;
+  opts.state_bound = bound;
+  opts.allow_new_components = true;
+  const auto start = Partition::whole(g);
+  const auto refined = refine_partition(g, start, opts);
+  // Whole-graph partition has bandwidth 0 -- already optimal, must not split.
+  EXPECT_EQ(bandwidth(g, gains, refined), Rational(0));
+}
+
+TEST(DagExact, MatchesPipelineDpOnChains) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = ccs::workloads::random_pipeline(10, 10, 80, 3, rng);
+    const std::int64_t bound = 170;
+    if (g.max_state() > bound) continue;
+    const auto dp = pipeline_optimal_partition(g, bound);
+    ExactOptions opts;
+    opts.state_bound = bound;
+    const auto exact = dag_exact_partition(g, opts);
+    ASSERT_TRUE(exact.has_value()) << "trial " << trial;
+    EXPECT_EQ(exact->bandwidth, dp.bandwidth) << "trial " << trial;
+  }
+}
+
+TEST(DagExact, BeatsOrMatchesHeuristicsOnSmallDags) {
+  Rng rng(10);
+  for (int trial = 0; trial < 6; ++trial) {
+    ccs::workloads::LayeredSpec spec;
+    spec.layers = 3;
+    spec.width = 3;
+    spec.state_lo = 50;
+    spec.state_hi = 150;
+    const auto g = layered_homogeneous_dag(spec, rng);
+    const sdf::GainMap gains(g);
+    const std::int64_t bound = 400;
+    ExactOptions opts;
+    opts.state_bound = bound;
+    const auto exact = dag_exact_partition(g, opts);
+    ASSERT_TRUE(exact.has_value()) << "trial " << trial;
+    EXPECT_TRUE(is_well_ordered(g, exact->partition));
+    EXPECT_TRUE(is_bounded(g, exact->partition, bound));
+    EXPECT_EQ(bandwidth(g, gains, exact->partition), exact->bandwidth);
+
+    const auto greedy = dag_greedy_partition(g, bound);
+    RefineOptions refine;
+    refine.state_bound = bound;
+    const auto refined = refine_partition(g, greedy, refine);
+    EXPECT_LE(exact->bandwidth, bandwidth(g, gains, greedy)) << "trial " << trial;
+    EXPECT_LE(exact->bandwidth, bandwidth(g, gains, refined)) << "trial " << trial;
+  }
+}
+
+TEST(DagExact, SingleComponentWhenEverythingFits) {
+  Rng rng(11);
+  ccs::workloads::LayeredSpec spec;
+  spec.layers = 2;
+  spec.width = 2;
+  const auto g = layered_homogeneous_dag(spec, rng);
+  ExactOptions opts;
+  opts.state_bound = g.total_state();
+  const auto exact = dag_exact_partition(g, opts);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->bandwidth, Rational(0));
+  EXPECT_EQ(exact->partition.num_components, 1);
+}
+
+TEST(DagExact, RefusesOversizedGraphs) {
+  const auto g = ccs::workloads::des(16);  // 66 nodes
+  ExactOptions opts;
+  opts.state_bound = 10000;
+  opts.max_nodes = 24;
+  EXPECT_EQ(dag_exact_partition(g, opts), std::nullopt);
+}
+
+TEST(DagExact, InfeasibleModuleThrows) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 100);
+  ExactOptions opts;
+  opts.state_bound = 50;
+  EXPECT_THROW(dag_exact_partition(g, opts), Error);
+}
+
+TEST(DagExact, MinBandwidthHelper) {
+  const auto g = ccs::workloads::uniform_pipeline(6, 100);
+  // bound 200: components of <= 2 modules; 6 modules -> >= 3 components ->
+  // >= 2 cross edges, each gain 1.
+  const auto bw = min_bandwidth(g, 200);
+  ASSERT_TRUE(bw.has_value());
+  EXPECT_EQ(*bw, Rational(2));
+}
+
+TEST(DagExact, HandlesMultirateGains) {
+  // Exact partitioner must weigh gains, not edge counts: cutting the two
+  // gain-1/4 edges beats cutting one gain-4 edge.
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 60);
+  const NodeId a = g.add_node("a", 60);
+  const NodeId b = g.add_node("b", 60);
+  const NodeId t = g.add_node("t", 60);
+  g.add_edge(s, a, 4, 1);   // gain 4
+  g.add_edge(a, b, 1, 16);  // gain(a)=4, edge gain 4, gain(b)=1/4
+  g.add_edge(b, t, 1, 1);   // edge gain 1/4
+  ExactOptions opts;
+  opts.state_bound = 130;  // at most 2 modules per component
+  const auto exact = dag_exact_partition(g, opts);
+  ASSERT_TRUE(exact.has_value());
+  // Best: {s} {a,b} {t}? cross: s->a gain 4 + b->t gain 1/4 = 17/4.
+  // Or {s,a} {b,t}: cross a->b gain 4 = 4. <- optimal
+  EXPECT_EQ(exact->bandwidth, Rational(4));
+}
+
+}  // namespace
+}  // namespace ccs::partition

@@ -1,0 +1,148 @@
+#include "partition/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "sdf/gain.h"
+#include "util/error.h"
+#include "workloads/pipelines.h"
+
+namespace ccs::partition {
+namespace {
+
+using sdf::NodeId;
+using sdf::SdfGraph;
+
+SdfGraph diamond() {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 10);
+  const NodeId a = g.add_node("a", 20);
+  const NodeId b = g.add_node("b", 30);
+  const NodeId t = g.add_node("t", 40);
+  g.add_edge(s, a, 1, 1);
+  g.add_edge(s, b, 1, 1);
+  g.add_edge(a, t, 1, 1);
+  g.add_edge(b, t, 1, 1);
+  return g;
+}
+
+TEST(Partition, FromComponentsRoundTrip) {
+  const auto g = diamond();
+  const auto p = Partition::from_components(g, {{0, 1}, {2, 3}});
+  EXPECT_EQ(p.num_components, 2);
+  EXPECT_EQ(p.comp(0), 0);
+  EXPECT_EQ(p.comp(1), 0);
+  EXPECT_EQ(p.comp(2), 1);
+  EXPECT_EQ(p.comp(3), 1);
+  const auto comps = p.components();
+  EXPECT_EQ(comps[0], (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(comps[1], (std::vector<NodeId>{2, 3}));
+}
+
+TEST(Partition, FromComponentsRejectsBadCovers) {
+  const auto g = diamond();
+  EXPECT_THROW(Partition::from_components(g, {{0, 1}, {1, 2, 3}}), Error);  // overlap
+  EXPECT_THROW(Partition::from_components(g, {{0, 1}, {2}}), Error);        // missing 3
+  EXPECT_THROW(Partition::from_components(g, {{0, 1, 2, 3}, {}}), Error);   // empty comp
+}
+
+TEST(Partition, SingletonsAndWhole) {
+  const auto g = diamond();
+  const auto s = Partition::singletons(g);
+  EXPECT_EQ(s.num_components, 4);
+  EXPECT_TRUE(is_well_ordered(g, s));
+  const auto w = Partition::whole(g);
+  EXPECT_EQ(w.num_components, 1);
+  EXPECT_TRUE(is_well_ordered(g, w));
+}
+
+TEST(Partition, BandwidthCountsCrossEdgeGains) {
+  const auto g = diamond();
+  const sdf::GainMap gains(g);
+  // {s,a} | {b,t}: cross edges s->b (gain 1) and a->t (gain 1).
+  const auto p = Partition::from_components(g, {{0, 1}, {2, 3}});
+  EXPECT_EQ(bandwidth(g, gains, p), Rational(2));
+  // Whole graph: no cross edges.
+  EXPECT_EQ(bandwidth(g, gains, Partition::whole(g)), Rational(0));
+  // Singletons: all 4 edges cross.
+  EXPECT_EQ(bandwidth(g, gains, Partition::singletons(g)), Rational(4));
+}
+
+TEST(Partition, BandwidthWeighsGains) {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  g.add_edge(s, a, 4, 1);  // edge gain 4
+  g.add_edge(a, b, 1, 2);  // a fires 4 times/source firing, emits 4 -> gain 4
+  const sdf::GainMap gains(g);
+  const auto p = Partition::from_components(g, {{0}, {1}, {2}});
+  EXPECT_EQ(bandwidth(g, gains, p), Rational(8));
+}
+
+TEST(Partition, ComponentStatesAndMax) {
+  const auto g = diamond();
+  const auto p = Partition::from_components(g, {{0, 1}, {2, 3}});
+  EXPECT_EQ(component_states(g, p), (std::vector<std::int64_t>{30, 70}));
+  EXPECT_EQ(max_component_state(g, p), 70);
+  EXPECT_TRUE(is_bounded(g, p, 70));
+  EXPECT_FALSE(is_bounded(g, p, 69));
+}
+
+TEST(Partition, Degrees) {
+  const auto g = diamond();
+  const auto p = Partition::from_components(g, {{0, 1}, {2, 3}});
+  EXPECT_EQ(component_degrees(g, p), (std::vector<std::int32_t>{2, 2}));
+  EXPECT_EQ(max_component_degree(g, p), 2);
+}
+
+TEST(Partition, WellOrderingDetectsContractedCycle) {
+  const auto g = diamond();
+  // {s,t} together with a and b separate: contraction has a cycle.
+  const auto bad = Partition::from_components(g, {{0, 3}, {1}, {2}});
+  EXPECT_FALSE(is_well_ordered(g, bad));
+  const auto good = Partition::from_components(g, {{0}, {1, 2}, {3}});
+  EXPECT_TRUE(is_well_ordered(g, good));
+}
+
+TEST(Partition, ValidateCatchesCorruptAssignments) {
+  const auto g = diamond();
+  Partition p;
+  p.num_components = 2;
+  p.assignment = {0, 0, 5, 1};  // component 5 out of range
+  const auto problems = validate_partition(g, p);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("outside"), std::string::npos);
+
+  Partition q;
+  q.num_components = 3;
+  q.assignment = {0, 0, 1, 1};  // component 2 empty
+  const auto problems2 = validate_partition(g, q);
+  ASSERT_FALSE(problems2.empty());
+  EXPECT_NE(problems2[0].find("empty"), std::string::npos);
+}
+
+TEST(Partition, RenumberTopologicalOrdersComponents) {
+  const auto g = ccs::workloads::uniform_pipeline(6, 10);
+  // Components intentionally numbered against the flow: {4,5}=0, {2,3}=1, {0,1}=2.
+  const auto p = Partition::from_components(g, {{4, 5}, {2, 3}, {0, 1}});
+  EXPECT_TRUE(is_well_ordered(g, p));
+  const auto r = renumber_topological(g, p);
+  EXPECT_EQ(r.comp(0), 0);
+  EXPECT_EQ(r.comp(2), 1);
+  EXPECT_EQ(r.comp(4), 2);
+}
+
+TEST(Partition, MeasureBundlesMetrics) {
+  const auto g = diamond();
+  const sdf::GainMap gains(g);
+  const auto p = Partition::from_components(g, {{0, 1}, {2, 3}});
+  const auto q = measure(g, gains, p);
+  EXPECT_EQ(q.bandwidth, Rational(2));
+  EXPECT_EQ(q.max_state, 70);
+  EXPECT_EQ(q.max_degree, 2);
+  EXPECT_EQ(q.num_components, 2);
+  EXPECT_TRUE(q.well_ordered);
+}
+
+}  // namespace
+}  // namespace ccs::partition

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "partition/pipeline_dp.h"
+#include "partition/pipeline_greedy.h"
+#include "sdf/gain.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/pipelines.h"
+
+namespace ccs::partition {
+namespace {
+
+using sdf::SdfGraph;
+
+TEST(PipelineGreedy, SegmentsExceedTwoM) {
+  const auto g = ccs::workloads::uniform_pipeline(30, 100);  // total 3000
+  const std::int64_t m = 250;
+  const auto result = pipeline_greedy_partition(g, m);
+  ASSERT_FALSE(result.segments.empty());
+  // Every segment except possibly the last must exceed 2M.
+  for (std::size_t i = 0; i + 1 < result.segments.size(); ++i) {
+    std::int64_t state = 0;
+    for (std::int32_t pos = result.segments[i].first; pos <= result.segments[i].last; ++pos) {
+      state += g.node(pos).state;
+    }
+    EXPECT_GT(state, 2 * m) << "segment " << i;
+  }
+}
+
+TEST(PipelineGreedy, ComponentsWithinEightM) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = ccs::workloads::random_pipeline(40, 1, 200, 4, rng);
+    const std::int64_t m = 220;  // > max module state
+    const auto result = pipeline_greedy_partition(g, m);
+    EXPECT_LE(max_component_state(g, result.partition), 8 * m) << "trial " << trial;
+    EXPECT_TRUE(is_well_ordered(g, result.partition));
+  }
+}
+
+TEST(PipelineGreedy, CutsAreGainMinimizing) {
+  // Hourglass: gains dip at the waist; the single cut of a 2-segment
+  // accretion must pick a low-gain edge, not just the midpoint.
+  const auto g = ccs::workloads::hourglass_pipeline(12, 100, 2);
+  const auto result = pipeline_greedy_partition(g, 300);
+  const sdf::GainMap gains(g);
+  ASSERT_FALSE(result.cut_edges.empty());
+  // Every chosen cut's gain must be minimal within its segment; spot-check
+  // by confirming none of the cuts has a gain above the graph's median edge.
+  std::vector<Rational> all_gains;
+  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) all_gains.push_back(gains.edge_gain(e));
+  std::sort(all_gains.begin(), all_gains.end());
+  const Rational median = all_gains[all_gains.size() / 2];
+  for (const sdf::EdgeId e : result.cut_edges) {
+    EXPECT_LE(gains.edge_gain(e), median);
+  }
+}
+
+TEST(PipelineGreedy, TinyPipelineSingleComponent) {
+  const auto g = ccs::workloads::uniform_pipeline(3, 10);
+  const auto result = pipeline_greedy_partition(g, 100);  // total 30 < 2M
+  EXPECT_EQ(result.partition.num_components, 1);
+  EXPECT_TRUE(result.cut_edges.empty());
+}
+
+TEST(PipelineGreedy, OversizedModuleRejected) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 100);
+  EXPECT_THROW(pipeline_greedy_partition(g, 50), Error);
+}
+
+TEST(PipelineGreedy, RejectsNonPipeline) {
+  SdfGraph g;
+  g.add_node("s", 1);
+  g.add_node("a", 1);
+  g.add_node("b", 1);
+  g.add_node("t", 1);
+  g.add_edge(0, 1, 1, 1);
+  g.add_edge(0, 2, 1, 1);
+  g.add_edge(1, 3, 1, 1);
+  g.add_edge(2, 3, 1, 1);
+  EXPECT_THROW(pipeline_greedy_partition(g, 10), GraphError);
+}
+
+TEST(PipelineDp, FindsObviousCut) {
+  // Two 100-state halves joined by a gain-1 edge; every other edge has gain 4.
+  SdfGraph g;
+  for (int i = 0; i < 6; ++i) g.add_node("m" + std::to_string(i), 50);
+  g.add_edge(0, 1, 1, 1);  // gain 1 -- but cutting here leaves 4 modules right
+  g.add_edge(1, 2, 4, 1);  // gain 4
+  g.add_edge(2, 3, 1, 16); // gain 16? no: gain(2)=4, edge gain = 4*1=4; in=16 -> gain(3)=1/4
+  g.add_edge(3, 4, 1, 1);  // gain(3)=1/4, edge gain 1/4
+  g.add_edge(4, 5, 1, 1);  // gain 1/4
+  const auto result = pipeline_optimal_partition(g, 150);  // max 3 modules per segment
+  EXPECT_TRUE(is_well_ordered(g, result.partition));
+  EXPECT_LE(max_component_state(g, result.partition), 150);
+  // Optimal: cut at edge 2->3 (gain 1/4... wait, edge 2->3 has gain 4) --
+  // verify optimality against brute force instead of eyeballing.
+  const sdf::GainMap gains(g);
+  Rational best = result.bandwidth;
+  // Brute force all 2^5 cut subsets.
+  for (int mask = 0; mask < 32; ++mask) {
+    std::vector<std::vector<sdf::NodeId>> comps;
+    comps.emplace_back();
+    for (int i = 0; i < 6; ++i) {
+      comps.back().push_back(i);
+      if (i < 5 && (mask >> i & 1)) comps.emplace_back();
+    }
+    const auto p = Partition::from_components(g, comps);
+    if (max_component_state(g, p) > 150) continue;
+    EXPECT_GE(bandwidth(g, gains, p), best) << "mask " << mask;
+  }
+}
+
+TEST(PipelineDp, MatchesBruteForceOnRandomPipelines) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto g = ccs::workloads::random_pipeline(9, 10, 60, 4, rng);
+    const std::int64_t bound = 140;
+    if (g.max_state() > bound) continue;
+    const auto dp = pipeline_optimal_partition(g, bound);
+    const sdf::GainMap gains(g);
+    Rational brute = Rational(std::numeric_limits<std::int32_t>::max());
+    const int cuts = g.node_count() - 1;
+    for (int mask = 0; mask < (1 << cuts); ++mask) {
+      std::vector<std::vector<sdf::NodeId>> comps;
+      comps.emplace_back();
+      for (sdf::NodeId i = 0; i < g.node_count(); ++i) {
+        comps.back().push_back(i);
+        if (i < cuts && (mask >> i & 1)) comps.emplace_back();
+      }
+      const auto p = Partition::from_components(g, comps);
+      if (max_component_state(g, p) > bound) continue;
+      brute = std::min(brute, bandwidth(g, gains, p));
+    }
+    EXPECT_EQ(dp.bandwidth, brute) << "trial " << trial;
+  }
+}
+
+TEST(PipelineDp, BandwidthNeverAboveGreedy) {
+  Rng rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = ccs::workloads::random_pipeline(30, 10, 150, 4, rng);
+    const std::int64_t m = 200;
+    const sdf::GainMap gains(g);
+    const auto greedy = pipeline_greedy_partition(g, m);
+    // Compare at the greedy partition's own bound (8M) so both are feasible.
+    const auto dp = pipeline_optimal_partition(g, 8 * m);
+    EXPECT_LE(dp.bandwidth, bandwidth(g, gains, greedy.partition)) << "trial " << trial;
+  }
+}
+
+TEST(PipelineDp, SingleSegmentWhenEverythingFits) {
+  const auto g = ccs::workloads::uniform_pipeline(5, 10);
+  const auto result = pipeline_optimal_partition(g, 1000);
+  EXPECT_EQ(result.partition.num_components, 1);
+  EXPECT_EQ(result.bandwidth, Rational(0));
+}
+
+TEST(PipelineDp, InfeasibleModuleThrows) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 100);
+  EXPECT_THROW(pipeline_optimal_partition(g, 99), Error);
+}
+
+}  // namespace
+}  // namespace ccs::partition

@@ -1,0 +1,103 @@
+#include "runtime/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ccs::runtime {
+namespace {
+
+using iomodel::AccessMode;
+using iomodel::CacheConfig;
+using iomodel::LruCache;
+using iomodel::Region;
+
+TEST(Channel, PushPopBookkeeping) {
+  LruCache cache(CacheConfig{1024, 8});
+  Channel ch(Region{0, 16}, 16);
+  EXPECT_TRUE(ch.empty());
+  ch.push(5, cache);
+  EXPECT_EQ(ch.size(), 5);
+  EXPECT_EQ(ch.space(), 11);
+  ch.pop(3, cache);
+  EXPECT_EQ(ch.size(), 2);
+  ch.pop(2, cache);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, OverflowThrows) {
+  LruCache cache(CacheConfig{1024, 8});
+  Channel ch(Region{0, 4}, 4);
+  ch.push(4, cache);
+  EXPECT_TRUE(ch.full());
+  EXPECT_THROW(ch.push(1, cache), ScheduleError);
+}
+
+TEST(Channel, UnderflowThrows) {
+  LruCache cache(CacheConfig{1024, 8});
+  Channel ch(Region{0, 4}, 4);
+  ch.push(2, cache);
+  EXPECT_THROW(ch.pop(3, cache), ScheduleError);
+}
+
+TEST(Channel, WritesMakeBlocksDirty) {
+  LruCache cache(CacheConfig{16, 8});  // 2 blocks only
+  Channel ch(Region{0, 8}, 8);
+  ch.push(8, cache);                       // writes block 0
+  cache.access(64, AccessMode::kRead);     // fill
+  cache.access(128, AccessMode::kRead);    // evict dirty block 0
+  EXPECT_EQ(cache.stats().writebacks, 1);
+}
+
+TEST(Channel, BlockGranularityTouching) {
+  LruCache cache(CacheConfig{1024, 8});
+  Channel ch(Region{0, 64}, 64);
+  ch.push(20, cache);  // words 0..19: blocks 0,1,2 -> 3 misses, 3 accesses
+  EXPECT_EQ(cache.stats().misses, 3);
+  EXPECT_EQ(cache.stats().accesses, 3);
+}
+
+TEST(Channel, WrapAroundTouchesBothEnds) {
+  LruCache cache(CacheConfig{1024, 8});
+  Channel ch(Region{0, 16}, 16);
+  ch.push(12, cache);
+  ch.pop(12, cache);  // head now at 12
+  const auto misses_before = cache.stats().misses;
+  ch.push(8, cache);  // wraps: words 12..15 (block 1) + 0..3 (block 0)
+  EXPECT_EQ(ch.size(), 8);
+  // Both blocks were already resident, so no new misses -- but no crash and
+  // correct size tracking across the wrap.
+  EXPECT_EQ(cache.stats().misses, misses_before);
+  ch.pop(8, cache);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, ResetDropsTokensSilently) {
+  LruCache cache(CacheConfig{1024, 8});
+  Channel ch(Region{0, 8}, 8);
+  ch.push(5, cache);
+  const auto accesses = cache.stats().accesses;
+  ch.reset();
+  EXPECT_TRUE(ch.empty());
+  EXPECT_EQ(cache.stats().accesses, accesses);  // no traffic
+}
+
+TEST(Channel, RegionMustMatchCapacity) {
+  EXPECT_THROW(Channel(Region{0, 8}, 16), ContractViolation);
+}
+
+TEST(Channel, StreamingThroughRingCostsOneMissPerBlock) {
+  // Push/pop a long stream through a small ring: every block of the ring is
+  // rewritten each lap, but misses stay bounded by laps * ring blocks when
+  // the ring fits in cache.
+  LruCache cache(CacheConfig{1024, 8});
+  Channel ch(Region{0, 32}, 32);  // 4 blocks
+  for (int lap = 0; lap < 100; ++lap) {
+    ch.push(32, cache);
+    ch.pop(32, cache);
+  }
+  EXPECT_EQ(cache.stats().misses, 4);  // ring stays resident
+}
+
+}  // namespace
+}  // namespace ccs::runtime

@@ -1,0 +1,173 @@
+#include "runtime/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "iomodel/cache.h"
+#include "sdf/min_buffer.h"
+#include "util/error.h"
+#include "workloads/pipelines.h"
+
+namespace ccs::runtime {
+namespace {
+
+using iomodel::CacheConfig;
+using iomodel::LruCache;
+using sdf::NodeId;
+using sdf::SdfGraph;
+
+SdfGraph two_stage() {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 16);
+  const NodeId b = g.add_node("b", 16);
+  g.add_edge(a, b, 2, 2);
+  return g;
+}
+
+TEST(Engine, FiringMovesTokens) {
+  const auto g = two_stage();
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, {4}, cache);
+  EXPECT_TRUE(engine.can_fire(0));
+  EXPECT_FALSE(engine.can_fire(1));  // no input tokens yet
+  engine.fire(0);
+  EXPECT_EQ(engine.tokens(0), 2);
+  EXPECT_TRUE(engine.can_fire(1));
+  engine.fire(1);
+  EXPECT_EQ(engine.tokens(0), 0);
+  EXPECT_TRUE(engine.drained());
+}
+
+TEST(Engine, UnderflowThrowsWithoutSideEffects) {
+  const auto g = two_stage();
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, {4}, cache);
+  EXPECT_THROW(engine.fire(1), ScheduleError);
+  EXPECT_EQ(engine.tokens(0), 0);
+  EXPECT_EQ(engine.fired(1), 0);
+}
+
+TEST(Engine, OverflowThrowsWithoutSideEffects) {
+  const auto g = two_stage();
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, {2}, cache);
+  engine.fire(0);  // buffer now full (2/2)
+  EXPECT_THROW(engine.fire(0), ScheduleError);
+  EXPECT_EQ(engine.tokens(0), 2);
+  EXPECT_EQ(engine.fired(0), 1);
+}
+
+TEST(Engine, StateScanCostsStateOverBlockMisses) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 64);
+  const NodeId b = g.add_node("b", 8);
+  g.add_edge(a, b, 1, 1);
+  LruCache cache(CacheConfig{1024, 8});
+  EngineOptions opts;
+  opts.model_external_io = false;
+  Engine engine(g, {1}, cache, opts);
+  engine.fire(0);
+  // 64-word state = 8 blocks + 1 block of output buffer writes.
+  EXPECT_EQ(cache.stats().misses, 8 + 1);
+}
+
+TEST(Engine, RepeatedFiringReusesCachedState) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 64);
+  const NodeId b = g.add_node("b", 8);
+  g.add_edge(a, b, 1, 1);
+  LruCache cache(CacheConfig{1024, 8});
+  EngineOptions opts;
+  opts.model_external_io = false;
+  Engine engine(g, {4}, cache, opts);
+  engine.fire(0);
+  const auto first = cache.stats().misses;
+  engine.fire(0);  // everything resident
+  EXPECT_EQ(cache.stats().misses, first);
+}
+
+TEST(Engine, ExternalIoCostsOneMissPerBlockOfFirings)
+{
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 8);
+  const NodeId b = g.add_node("b", 8);
+  g.add_edge(a, b, 1, 1);
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, {1}, cache);  // external IO on by default
+  std::vector<NodeId> seq;
+  for (int i = 0; i < 16; ++i) {
+    seq.push_back(0);
+    seq.push_back(1);
+  }
+  const RunResult r = engine.run(seq);
+  // Source reads 16 external words (2 blocks), sink writes 16 (2 blocks);
+  // states (2 blocks) + channel ring (1 block) are cold-missed once.
+  EXPECT_EQ(r.cache.misses, 2 + 2 + 2 + 1);
+  EXPECT_EQ(r.source_firings, 16);
+  EXPECT_EQ(r.sink_firings, 16);
+}
+
+TEST(Engine, RunReturnsDeltasBetweenCalls) {
+  const auto g = two_stage();
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, {4}, cache);
+  const std::vector<NodeId> seq{0, 1};
+  const RunResult r1 = engine.run(seq);
+  const RunResult r2 = engine.run(seq);
+  EXPECT_EQ(r1.firings, 2);
+  EXPECT_EQ(r2.firings, 2);
+  // Second run hits cache: strictly fewer misses.
+  EXPECT_LT(r2.cache.misses, r1.cache.misses);
+}
+
+TEST(Engine, PerNodeAttributionSumsToTotal) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 32);
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, sdf::feasible_buffers(g), cache);
+  std::vector<NodeId> seq;
+  for (int iter = 0; iter < 3; ++iter) {
+    for (NodeId v = 0; v < 4; ++v) seq.push_back(v);
+  }
+  const RunResult r = engine.run(seq);
+  std::int64_t attributed = 0;
+  for (const auto m : r.node_misses) attributed += m;
+  EXPECT_EQ(attributed, r.cache.misses);
+}
+
+TEST(Engine, MissesPerInputAndOutput) {
+  const auto g = two_stage();
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, {4}, cache);
+  const std::vector<NodeId> seq{0, 1};
+  const RunResult r = engine.run(seq);
+  EXPECT_GT(r.misses_per_input(), 0.0);
+  EXPECT_GT(r.misses_per_output(), 0.0);
+  EXPECT_DOUBLE_EQ(r.misses_per_input(), static_cast<double>(r.cache.misses));
+}
+
+TEST(Engine, UndersizedBufferRejectedAtConstruction) {
+  const auto g = two_stage();  // rates (2,2) need capacity >= 2
+  LruCache cache(CacheConfig{1024, 8});
+  EXPECT_THROW(Engine(g, {1}, cache), ScheduleError);
+}
+
+TEST(Engine, ResetTokensDrainsWithoutTraffic) {
+  const auto g = two_stage();
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, {4}, cache);
+  engine.fire(0);
+  const auto accesses = cache.stats().accesses;
+  engine.reset_tokens();
+  EXPECT_TRUE(engine.drained());
+  EXPECT_EQ(engine.fired(0), 0);
+  EXPECT_EQ(cache.stats().accesses, accesses);
+}
+
+TEST(Engine, StateFootprintReported) {
+  const auto g = ccs::workloads::uniform_pipeline(5, 100);
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, sdf::feasible_buffers(g), cache);
+  EXPECT_EQ(engine.state_footprint(), 500);
+}
+
+}  // namespace
+}  // namespace ccs::runtime

@@ -1,0 +1,62 @@
+#include "schedule/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "schedule/naive.h"
+#include "schedule/validate.h"
+#include "util/error.h"
+#include "workloads/streamit.h"
+
+namespace ccs::schedule {
+namespace {
+
+TEST(ScheduleSerialize, RoundTripPreservesEverything) {
+  const auto g = ccs::workloads::fm_radio(4);
+  const auto original = naive_minimal_buffer_schedule(g);
+  const auto parsed = from_text(g, to_text(g, original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.period, original.period);
+  EXPECT_EQ(parsed.buffer_caps, original.buffer_caps);
+  EXPECT_EQ(parsed.inputs_per_period, original.inputs_per_period);
+  EXPECT_EQ(parsed.outputs_per_period, original.outputs_per_period);
+}
+
+TEST(ScheduleSerialize, RoundTrippedScheduleStillValidates) {
+  const auto g = ccs::workloads::filter_bank(4);
+  core::PlannerOptions opts;
+  opts.cache.capacity_words = 1024;
+  opts.cache.block_words = 8;
+  const auto plan = core::plan(g, opts);
+  const auto parsed = from_text(g, to_text(g, plan.schedule));
+  EXPECT_TRUE(check_schedule(g, parsed).ok);
+}
+
+TEST(ScheduleSerialize, UnknownModuleRejected) {
+  const auto g = ccs::workloads::fm_radio(2);
+  const auto s = naive_minimal_buffer_schedule(g);
+  auto text = to_text(g, s);
+  // Parse against a *different* graph whose names don't match.
+  const auto other = ccs::workloads::des(2);
+  EXPECT_THROW(from_text(other, text), Error);
+}
+
+TEST(ScheduleSerialize, BufferArityMismatchRejected) {
+  const auto g = ccs::workloads::fm_radio(2);
+  EXPECT_THROW(from_text(g,
+                         "schedule x\ninputs 1\noutputs 1\nbuffers 1 2\nperiod AtoD\n"),
+               Error);
+}
+
+TEST(ScheduleSerialize, MissingPeriodRejected) {
+  const auto g = ccs::workloads::fm_radio(2);
+  EXPECT_THROW(from_text(g, "schedule x\ninputs 1\noutputs 1\n"), ParseError);
+}
+
+TEST(ScheduleSerialize, GarbageLineRejected) {
+  const auto g = ccs::workloads::fm_radio(2);
+  EXPECT_THROW(from_text(g, "bogus\n"), ParseError);
+}
+
+}  // namespace
+}  // namespace ccs::schedule

@@ -1,0 +1,83 @@
+#include "schedule/token_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "workloads/pipelines.h"
+
+namespace ccs::schedule {
+namespace {
+
+using sdf::NodeId;
+using sdf::SdfGraph;
+
+SdfGraph two_rate() {
+  SdfGraph g;
+  g.add_node("a", 1);
+  g.add_node("b", 1);
+  g.add_edge(0, 1, 3, 2);
+  return g;
+}
+
+TEST(TokenSim, FireMovesTokens) {
+  const auto g = two_rate();
+  const std::int64_t caps[] = {6};
+  TokenSim sim(g, caps);
+  EXPECT_TRUE(sim.can_fire(0));
+  EXPECT_FALSE(sim.can_fire(1));
+  sim.fire(0);
+  EXPECT_EQ(sim.tokens(0), 3);
+  EXPECT_TRUE(sim.can_fire(1));
+  sim.fire(1);
+  EXPECT_EQ(sim.tokens(0), 1);
+}
+
+TEST(TokenSim, MaxBatchRespectsBothEnds) {
+  const auto g = two_rate();
+  const std::int64_t caps[] = {6};
+  TokenSim sim(g, caps);
+  EXPECT_EQ(sim.max_batch(0, 100), 2);  // 6 capacity / 3 per firing
+  sim.fire(0, 2);
+  EXPECT_EQ(sim.max_batch(0, 100), 0);
+  EXPECT_EQ(sim.max_batch(1, 100), 3);  // 6 tokens / 2 per firing
+}
+
+TEST(TokenSim, BatchFire) {
+  const auto g = two_rate();
+  const std::int64_t caps[] = {12};
+  TokenSim sim(g, caps);
+  sim.fire(0, 4);
+  EXPECT_EQ(sim.tokens(0), 12);
+  EXPECT_EQ(sim.fired(0), 4);
+  sim.fire(1, 6);
+  EXPECT_TRUE(sim.drained());
+}
+
+TEST(TokenSim, OverflowAndUnderflowThrow) {
+  const auto g = two_rate();
+  const std::int64_t caps[] = {3};
+  TokenSim sim(g, caps);
+  sim.fire(0);
+  EXPECT_THROW(sim.fire(0), ScheduleError);
+  sim.fire(1);
+  EXPECT_THROW(sim.fire(1), ScheduleError);  // only 1 token left, needs 2
+}
+
+TEST(TokenSim, PeakTracksHighWaterMark) {
+  const auto g = two_rate();
+  const std::int64_t caps[] = {9};
+  TokenSim sim(g, caps);
+  sim.fire(0, 3);
+  sim.fire(1, 4);
+  EXPECT_EQ(sim.peak(0), 9);
+  EXPECT_EQ(sim.tokens(0), 1);
+}
+
+TEST(TokenSim, TooSmallCapacityRejected) {
+  const auto g = two_rate();
+  const std::int64_t caps[] = {2};  // out_rate 3 cannot fit
+  EXPECT_THROW(TokenSim(g, caps), ScheduleError);
+}
+
+}  // namespace
+}  // namespace ccs::schedule

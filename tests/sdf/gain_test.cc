@@ -1,0 +1,110 @@
+#include "sdf/gain.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "workloads/pipelines.h"
+#include "workloads/streamit.h"
+
+namespace ccs::sdf {
+namespace {
+
+TEST(Gain, HomogeneousChainAllOnes) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 10);
+  const GainMap gains(g);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(gains.node_gain(v), Rational(1));
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(gains.edge_gain(e), Rational(1));
+  }
+  EXPECT_EQ(gains.source(), 0);
+}
+
+TEST(Gain, DecimatingChain) {
+  // src -(out 1, in 2)-> a -(out 1, in 3)-> b : gain(a)=1/2, gain(b)=1/6.
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  const EdgeId e0 = g.add_edge(s, a, 1, 2);
+  const EdgeId e1 = g.add_edge(a, b, 1, 3);
+  const GainMap gains(g);
+  EXPECT_EQ(gains.node_gain(s), Rational(1));
+  EXPECT_EQ(gains.node_gain(a), Rational(1, 2));
+  EXPECT_EQ(gains.node_gain(b), Rational(1, 6));
+  EXPECT_EQ(gains.edge_gain(e0), Rational(1));        // 1 token per source firing
+  EXPECT_EQ(gains.edge_gain(e1), Rational(1, 2));     // a fires 1/2, emits 1
+}
+
+TEST(Gain, AmplifyingEdge) {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  const NodeId a = g.add_node("a", 1);
+  const EdgeId e = g.add_edge(s, a, 5, 1);
+  const GainMap gains(g);
+  EXPECT_EQ(gains.node_gain(a), Rational(5));
+  EXPECT_EQ(gains.edge_gain(e), Rational(5));
+}
+
+TEST(Gain, RateMatchedDiamondAccepted) {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  const NodeId t = g.add_node("t", 1);
+  g.add_edge(s, a, 2, 1);  // gain(a) = 2
+  g.add_edge(s, b, 1, 1);  // gain(b) = 1
+  g.add_edge(a, t, 1, 2);  // path gain to t: 2 * 1/2 = 1
+  g.add_edge(b, t, 1, 1);  // path gain to t: 1
+  const GainMap gains(g);
+  EXPECT_EQ(gains.node_gain(t), Rational(1));
+  EXPECT_TRUE(is_rate_matched(g));
+}
+
+TEST(Gain, MismatchedDiamondRejected) {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  const NodeId t = g.add_node("t", 1);
+  g.add_edge(s, a, 2, 1);
+  g.add_edge(s, b, 1, 1);
+  g.add_edge(a, t, 1, 1);  // path gain 2
+  g.add_edge(b, t, 1, 1);  // path gain 1 -- disagreement at t
+  EXPECT_THROW(GainMap{g}, RateError);
+  EXPECT_FALSE(is_rate_matched(g));
+}
+
+TEST(Gain, MultipleSourcesRejected) {
+  SdfGraph g;
+  g.add_node("s1", 1);
+  g.add_node("s2", 1);
+  const NodeId t = g.add_node("t", 1);
+  g.add_edge(0, t, 1, 1);
+  g.add_edge(1, t, 1, 1);
+  EXPECT_THROW(GainMap{g}, GraphError);
+}
+
+TEST(Gain, EmptyGraphRejected) {
+  SdfGraph g;
+  EXPECT_THROW(GainMap{g}, GraphError);
+}
+
+TEST(Gain, StreamItAppsAreRateMatched) {
+  for (const auto& app : ccs::workloads::streamit_suite()) {
+    EXPECT_TRUE(is_rate_matched(app.graph)) << app.name;
+  }
+}
+
+TEST(Gain, HourglassGainDipsAtWaist) {
+  const auto g = ccs::workloads::hourglass_pipeline(9, 10, 3);
+  const GainMap gains(g);
+  // Gains decrease towards the waist, then increase again.
+  const Rational mid = gains.node_gain(4);
+  EXPECT_LT(mid, gains.node_gain(0));
+  EXPECT_LT(mid, gains.node_gain(8));
+}
+
+}  // namespace
+}  // namespace ccs::sdf

@@ -1,0 +1,67 @@
+#include "sdf/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/pipelines.h"
+#include "workloads/streamit.h"
+
+namespace ccs::sdf {
+namespace {
+
+TEST(GraphStats, PipelineShape) {
+  const auto g = ccs::workloads::uniform_pipeline(8, 50);
+  const auto stats = compute_stats(g);
+  EXPECT_EQ(stats.nodes, 8);
+  EXPECT_EQ(stats.edges, 7);
+  EXPECT_EQ(stats.depth, 8);
+  EXPECT_EQ(stats.width, 1);
+  EXPECT_EQ(stats.max_degree, 2);
+  EXPECT_EQ(stats.total_state, 400);
+  EXPECT_TRUE(stats.pipeline);
+  EXPECT_TRUE(stats.homogeneous);
+  EXPECT_EQ(stats.min_edge_gain, Rational(1));
+  EXPECT_EQ(stats.max_edge_gain, Rational(1));
+}
+
+TEST(GraphStats, SplitJoinWidth) {
+  const auto g = ccs::workloads::fm_radio(10);
+  const auto stats = compute_stats(g);
+  EXPECT_GE(stats.width, 10);  // ten equalizer bands side by side
+  EXPECT_FALSE(stats.pipeline);
+  EXPECT_GE(stats.max_degree, 10);  // the split fans out to every band
+}
+
+TEST(GraphStats, GainRangeOnDecimatingApp) {
+  const auto g = ccs::workloads::fm_radio(4);
+  const auto stats = compute_stats(g);
+  // The 4:1 low-pass decimator makes downstream edge gains 1/4.
+  EXPECT_EQ(stats.min_edge_gain, Rational(1, 4));
+  EXPECT_EQ(stats.max_edge_gain, Rational(1));
+}
+
+TEST(GraphStats, HourglassGainSpread) {
+  const auto g = ccs::workloads::hourglass_pipeline(9, 10, 2);
+  const auto stats = compute_stats(g);
+  EXPECT_LT(stats.min_edge_gain, Rational(1, 8));
+  EXPECT_EQ(stats.max_edge_gain, Rational(1));
+}
+
+TEST(GraphStats, StreamOperator) {
+  const auto g = ccs::workloads::uniform_pipeline(3, 10);
+  std::ostringstream os;
+  os << compute_stats(g);
+  EXPECT_NE(os.str().find("nodes=3"), std::string::npos);
+  EXPECT_NE(os.str().find("pipeline"), std::string::npos);
+}
+
+TEST(GraphStats, DepthWidthOfButterfly) {
+  const auto g = ccs::workloads::fft(3);  // 3 stages of 4 units over 8 wires
+  const auto stats = compute_stats(g);
+  EXPECT_EQ(stats.depth, 3 + 4);  // src, fan, 3 unit stages, merge, sink
+  EXPECT_GE(stats.width, 4);
+}
+
+}  // namespace
+}  // namespace ccs::sdf

@@ -1,0 +1,166 @@
+#include "sdf/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ccs::sdf {
+namespace {
+
+TEST(SdfGraph, AddNodesAndEdges) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 10);
+  const NodeId b = g.add_node("b", 20);
+  const EdgeId e = g.add_edge(a, b, 2, 3);
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_EQ(g.node(a).name, "a");
+  EXPECT_EQ(g.node(b).state, 20);
+  EXPECT_EQ(g.edge(e).src, a);
+  EXPECT_EQ(g.edge(e).dst, b);
+  EXPECT_EQ(g.edge(e).out_rate, 2);
+  EXPECT_EQ(g.edge(e).in_rate, 3);
+}
+
+TEST(SdfGraph, AdjacencyLists) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  const NodeId c = g.add_node("c", 1);
+  const EdgeId ab = g.add_edge(a, b, 1, 1);
+  const EdgeId ac = g.add_edge(a, c, 1, 1);
+  const EdgeId bc = g.add_edge(b, c, 1, 1);
+  EXPECT_EQ(g.out_edges(a), (std::vector<EdgeId>{ab, ac}));
+  EXPECT_EQ(g.in_edges(c), (std::vector<EdgeId>{ac, bc}));
+  EXPECT_TRUE(g.in_edges(a).empty());
+  EXPECT_TRUE(g.out_edges(c).empty());
+}
+
+TEST(SdfGraph, ParallelEdgesAllowed) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  g.add_edge(a, b, 1, 1);
+  g.add_edge(a, b, 2, 2);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.out_edges(a).size(), 2u);
+}
+
+TEST(SdfGraph, DuplicateNameThrows) {
+  SdfGraph g;
+  g.add_node("a", 1);
+  EXPECT_THROW(g.add_node("a", 2), GraphError);
+}
+
+TEST(SdfGraph, EmptyNameThrows) {
+  SdfGraph g;
+  EXPECT_THROW(g.add_node("", 1), GraphError);
+}
+
+TEST(SdfGraph, NegativeStateThrows) {
+  SdfGraph g;
+  EXPECT_THROW(g.add_node("a", -1), GraphError);
+}
+
+TEST(SdfGraph, SelfLoopThrows) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 1);
+  EXPECT_THROW(g.add_edge(a, a, 1, 1), GraphError);
+}
+
+TEST(SdfGraph, NonPositiveRatesThrow) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  EXPECT_THROW(g.add_edge(a, b, 0, 1), RateError);
+  EXPECT_THROW(g.add_edge(a, b, 1, -2), RateError);
+}
+
+TEST(SdfGraph, BadEndpointThrows) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 1);
+  EXPECT_THROW(g.add_edge(a, 5, 1, 1), GraphError);
+  EXPECT_THROW(g.add_edge(-1, a, 1, 1), GraphError);
+}
+
+TEST(SdfGraph, FindNode) {
+  SdfGraph g;
+  const NodeId a = g.add_node("alpha", 1);
+  EXPECT_EQ(g.find_node("alpha"), a);
+  EXPECT_EQ(g.find_node("beta"), kInvalidNode);
+}
+
+TEST(SdfGraph, SourcesAndSinks) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  const NodeId c = g.add_node("c", 1);
+  g.add_edge(a, b, 1, 1);
+  g.add_edge(b, c, 1, 1);
+  EXPECT_EQ(g.sources(), std::vector<NodeId>{a});
+  EXPECT_EQ(g.sinks(), std::vector<NodeId>{c});
+}
+
+TEST(SdfGraph, TotalAndMaxState) {
+  SdfGraph g;
+  g.add_node("a", 10);
+  g.add_node("b", 30);
+  g.add_node("c", 20);
+  EXPECT_EQ(g.total_state(), 60);
+  EXPECT_EQ(g.max_state(), 30);
+}
+
+TEST(SdfGraph, PipelineDetection) {
+  SdfGraph chain;
+  const NodeId a = chain.add_node("a", 1);
+  const NodeId b = chain.add_node("b", 1);
+  const NodeId c = chain.add_node("c", 1);
+  chain.add_edge(a, b, 1, 1);
+  chain.add_edge(b, c, 1, 1);
+  EXPECT_TRUE(chain.is_pipeline());
+
+  SdfGraph vee;
+  const NodeId x = vee.add_node("x", 1);
+  const NodeId y = vee.add_node("y", 1);
+  const NodeId z = vee.add_node("z", 1);
+  vee.add_edge(x, z, 1, 1);
+  vee.add_edge(y, z, 1, 1);
+  EXPECT_FALSE(vee.is_pipeline());
+
+  SdfGraph empty;
+  EXPECT_FALSE(empty.is_pipeline());
+}
+
+TEST(SdfGraph, HomogeneousDetection) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  g.add_edge(a, b, 1, 1);
+  EXPECT_TRUE(g.is_homogeneous());
+  const NodeId c = g.add_node("c", 1);
+  g.add_edge(b, c, 2, 1);
+  EXPECT_FALSE(g.is_homogeneous());
+}
+
+TEST(SdfGraph, StreamOperatorSummarizes) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 5);
+  const NodeId b = g.add_node("b", 5);
+  g.add_edge(a, b, 1, 1);
+  std::ostringstream os;
+  os << g;
+  EXPECT_NE(os.str().find("n=2"), std::string::npos);
+  EXPECT_NE(os.str().find("pipeline"), std::string::npos);
+}
+
+TEST(SdfGraph, OutOfRangeAccessThrows) {
+  SdfGraph g;
+  g.add_node("a", 1);
+  EXPECT_THROW(g.node(3), ContractViolation);
+  EXPECT_THROW(g.edge(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccs::sdf

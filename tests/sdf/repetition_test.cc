@@ -1,0 +1,78 @@
+#include "sdf/repetition.h"
+
+#include <gtest/gtest.h>
+
+#include "util/int_math.h"
+#include "workloads/pipelines.h"
+#include "workloads/random_dag.h"
+#include "workloads/streamit.h"
+
+namespace ccs::sdf {
+namespace {
+
+TEST(Repetition, HomogeneousChainAllOnes) {
+  const auto g = ccs::workloads::uniform_pipeline(5, 10);
+  const RepetitionVector reps(g);
+  for (NodeId v = 0; v < g.node_count(); ++v) EXPECT_EQ(reps.count(v), 1);
+  EXPECT_EQ(reps.total_firings(), 5);
+}
+
+TEST(Repetition, ClassicTwoRateChain) {
+  // s -(3,2)-> a: q(s)=2, q(a)=3.
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  const NodeId a = g.add_node("a", 1);
+  const EdgeId e = g.add_edge(s, a, 3, 2);
+  const RepetitionVector reps(g);
+  EXPECT_EQ(reps.count(s), 2);
+  EXPECT_EQ(reps.count(a), 3);
+  EXPECT_EQ(reps.edge_tokens(e), 6);
+}
+
+TEST(Repetition, BalanceEquationsHoldOnEveryEdge) {
+  Rng rng(123);
+  ccs::workloads::SeriesParallelSpec spec;
+  spec.target_nodes = 30;
+  const auto g = ccs::workloads::series_parallel_dag(spec, rng);
+  const RepetitionVector reps(g);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    EXPECT_EQ(reps.count(edge.src) * edge.out_rate, reps.count(edge.dst) * edge.in_rate);
+  }
+}
+
+TEST(Repetition, VectorIsMinimal) {
+  // gcd of all counts must be 1, otherwise a smaller vector would work.
+  for (const auto& app : ccs::workloads::streamit_suite()) {
+    const RepetitionVector reps(app.graph);
+    std::int64_t g = 0;
+    for (const auto q : reps.counts()) g = gcd64(g, q);
+    EXPECT_EQ(g, 1) << app.name;
+  }
+}
+
+TEST(Repetition, HourglassCounts) {
+  // factor-2 hourglass with 5 nodes: rates (1,2),(1,2)... waist at node 2.
+  const auto g = ccs::workloads::hourglass_pipeline(5, 10, 2);
+  const RepetitionVector reps(g);
+  // Edges: 0-(1,2)->1, 1-(1,2)->2 (waist index 2), 2-(1,1)->3? No: the waist
+  // edge is at i == 2, so edges are (1,2), (1,2), (1,1), (2,1). Gains are
+  // 1, 1/2, 1/4, 1/4, 1/2, giving q = (4, 2, 1, 1, 2).
+  EXPECT_EQ(reps.count(0), 4);  // decimation means the source fires most
+  EXPECT_EQ(reps.count(1), 2);
+  EXPECT_EQ(reps.count(2), 1);
+  EXPECT_EQ(reps.count(3), 1);
+  EXPECT_EQ(reps.count(4), 2);
+}
+
+TEST(Repetition, TotalFirings) {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  const NodeId a = g.add_node("a", 1);
+  g.add_edge(s, a, 3, 2);
+  const RepetitionVector reps(g);
+  EXPECT_EQ(reps.total_firings(), 5);
+}
+
+}  // namespace
+}  // namespace ccs::sdf

@@ -1,0 +1,81 @@
+#include "sdf/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "workloads/streamit.h"
+
+namespace ccs::sdf {
+namespace {
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const auto original = ccs::workloads::fm_radio(4);
+  const auto parsed = from_text(to_text(original));
+  ASSERT_EQ(parsed.node_count(), original.node_count());
+  ASSERT_EQ(parsed.edge_count(), original.edge_count());
+  for (NodeId v = 0; v < original.node_count(); ++v) {
+    EXPECT_EQ(parsed.node(v).name, original.node(v).name);
+    EXPECT_EQ(parsed.node(v).state, original.node(v).state);
+  }
+  for (EdgeId e = 0; e < original.edge_count(); ++e) {
+    EXPECT_EQ(parsed.edge(e).src, original.edge(e).src);
+    EXPECT_EQ(parsed.edge(e).dst, original.edge(e).dst);
+    EXPECT_EQ(parsed.edge(e).out_rate, original.edge(e).out_rate);
+    EXPECT_EQ(parsed.edge(e).in_rate, original.edge(e).in_rate);
+  }
+}
+
+TEST(Serialize, ParsesCommentsAndBlankLines) {
+  const auto g = from_text(
+      "# a comment\n"
+      "\n"
+      "node a state=4   # trailing comment\n"
+      "node b state=8\n"
+      "edge a -> b out=2 in=3\n");
+  EXPECT_EQ(g.node_count(), 2);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_EQ(g.node(0).state, 4);
+  EXPECT_EQ(g.edge(0).out_rate, 2);
+}
+
+TEST(Serialize, UnknownDeclarationFails) {
+  EXPECT_THROW(from_text("vertex a state=1\n"), ParseError);
+}
+
+TEST(Serialize, MissingFieldsFail) {
+  EXPECT_THROW(from_text("node a\n"), ParseError);
+  EXPECT_THROW(from_text("node a state=1\nedge a -> out=1 in=1\n"), ParseError);
+}
+
+TEST(Serialize, BadKeyValueFails) {
+  EXPECT_THROW(from_text("node a weight=1\n"), ParseError);
+  EXPECT_THROW(from_text("node a state=abc\n"), ParseError);
+}
+
+TEST(Serialize, UnknownEndpointFails) {
+  EXPECT_THROW(from_text("node a state=1\nedge a -> b out=1 in=1\n"), ParseError);
+}
+
+TEST(Serialize, TrailingJunkFails) {
+  EXPECT_THROW(from_text("node a state=1 extra\n"), ParseError);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  try {
+    from_text("node a state=1\nbogus line here\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Serialize, SemanticErrorsPropagate) {
+  // Duplicate node name is a GraphError from the builder, not a ParseError.
+  EXPECT_THROW(from_text("node a state=1\nnode a state=2\n"), GraphError);
+  // Zero rate is a RateError.
+  EXPECT_THROW(from_text("node a state=1\nnode b state=1\nedge a -> b out=0 in=1\n"),
+               RateError);
+}
+
+}  // namespace
+}  // namespace ccs::sdf

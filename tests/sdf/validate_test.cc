@@ -1,0 +1,109 @@
+#include "sdf/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "workloads/streamit.h"
+
+namespace ccs::sdf {
+namespace {
+
+TEST(Validate, AcceptsStreamItSuite) {
+  ValidationOptions opts;
+  for (const auto& app : ccs::workloads::streamit_suite()) {
+    EXPECT_TRUE(validate(app.graph, opts).empty()) << app.name;
+    EXPECT_NO_THROW(validate_or_throw(app.graph, opts)) << app.name;
+  }
+}
+
+TEST(Validate, EmptyGraphRejected) {
+  SdfGraph g;
+  const auto problems = validate(g, ValidationOptions{});
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("no modules"), std::string::npos);
+}
+
+TEST(Validate, MultipleSourcesReported) {
+  SdfGraph g;
+  g.add_node("s1", 1);
+  g.add_node("s2", 1);
+  const NodeId t = g.add_node("t", 1);
+  g.add_edge(0, t, 1, 1);
+  g.add_edge(1, t, 1, 1);
+  const auto problems = validate(g, ValidationOptions{});
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("source"), std::string::npos);
+}
+
+TEST(Validate, MultipleSinksReported) {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  g.add_node("t1", 1);
+  g.add_node("t2", 1);
+  g.add_edge(s, 1, 1, 1);
+  g.add_edge(s, 2, 1, 1);
+  const auto problems = validate(g, ValidationOptions{});
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("sink"), std::string::npos);
+}
+
+TEST(Validate, SingleEndRequirementsCanBeRelaxed) {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  g.add_node("t1", 1);
+  g.add_node("t2", 1);
+  g.add_edge(s, 1, 1, 1);
+  g.add_edge(s, 2, 1, 1);
+  ValidationOptions opts;
+  opts.require_single_sink = false;
+  EXPECT_TRUE(validate(g, opts).empty());
+}
+
+TEST(Validate, OversizedModuleReported) {
+  SdfGraph g;
+  const NodeId a = g.add_node("a", 100);
+  const NodeId b = g.add_node("b", 10);
+  g.add_edge(a, b, 1, 1);
+  ValidationOptions opts;
+  opts.max_module_state = 64;
+  const auto problems = validate(g, opts);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("'a'"), std::string::npos);
+}
+
+TEST(Validate, RateMismatchReported) {
+  SdfGraph g;
+  const NodeId s = g.add_node("s", 1);
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 1);
+  const NodeId t = g.add_node("t", 1);
+  g.add_edge(s, a, 2, 1);
+  g.add_edge(s, b, 1, 1);
+  g.add_edge(a, t, 1, 1);
+  g.add_edge(b, t, 1, 1);
+  const auto problems = validate(g, ValidationOptions{});
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("rate matched"), std::string::npos);
+}
+
+TEST(Validate, ThrowListsAllProblems) {
+  SdfGraph g;
+  g.add_node("s1", 100);
+  g.add_node("s2", 100);
+  const NodeId t = g.add_node("t", 1);
+  g.add_edge(0, t, 1, 1);
+  g.add_edge(1, t, 1, 1);
+  ValidationOptions opts;
+  opts.max_module_state = 50;
+  try {
+    validate_or_throw(g, opts);
+    FAIL() << "expected GraphError";
+  } catch (const GraphError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("source"), std::string::npos);
+    EXPECT_NE(what.find("exceeds cache size"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ccs::sdf

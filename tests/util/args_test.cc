@@ -1,0 +1,92 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ccs {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("prog", "test parser");
+  p.add_int("n", 10, "count");
+  p.add_double("ratio", 0.5, "fraction");
+  p.add_string("name", "default", "label");
+  p.add_flag("verbose", "chatty");
+  return p;
+}
+
+TEST(Args, DefaultsApplyWithoutFlags) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("n"), 10);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.5);
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(Args, EqualsSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n=42", "--ratio=0.25", "--name=xyz", "--verbose"};
+  EXPECT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.25);
+  EXPECT_EQ(p.get_string("name"), "xyz");
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(Args, SpaceSyntax) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n", "7"};
+  EXPECT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("n"), 7);
+}
+
+TEST(Args, UnknownFlagThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(Args, MissingValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(Args, NonNumericValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(Args, FlagWithValueThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--verbose=1"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(Args, PositionalArgumentThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(Args, HelpReturnsFalse) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Args, UsageListsAllFlags) {
+  auto p = make_parser();
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("--n"), std::string::npos);
+  EXPECT_NE(usage.find("--ratio"), std::string::npos);
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccs

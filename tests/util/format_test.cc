@@ -1,0 +1,23 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+namespace ccs {
+namespace {
+
+TEST(Format, CountGrouping) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-1234), "-1,234");
+}
+
+TEST(Format, Words) {
+  EXPECT_EQ(format_words(12), "12 w");
+  EXPECT_EQ(format_words(2048), "2.0 Kw");
+  EXPECT_EQ(format_words(3 * 1024 * 1024), "3.0 Mw");
+}
+
+}  // namespace
+}  // namespace ccs

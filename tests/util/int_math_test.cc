@@ -1,0 +1,60 @@
+#include "util/int_math.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace ccs {
+namespace {
+
+TEST(IntMath, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(7, 0), 7);
+  EXPECT_EQ(gcd64(1, 1), 1);
+}
+
+TEST(IntMath, CheckedMul) {
+  EXPECT_EQ(checked_mul(1 << 20, 1 << 20), std::int64_t{1} << 40);
+  EXPECT_THROW(checked_mul(std::numeric_limits<std::int64_t>::max(), 2), OverflowError);
+  EXPECT_EQ(checked_mul(-5, 7), -35);
+}
+
+TEST(IntMath, CheckedAdd) {
+  EXPECT_EQ(checked_add(1, 2), 3);
+  EXPECT_THROW(checked_add(std::numeric_limits<std::int64_t>::max(), 1), OverflowError);
+}
+
+TEST(IntMath, CheckedLcm) {
+  EXPECT_EQ(checked_lcm(4, 6), 12);
+  EXPECT_EQ(checked_lcm(0, 6), 0);
+  EXPECT_EQ(checked_lcm(7, 7), 7);
+  EXPECT_THROW(checked_lcm(std::int64_t{1} << 62, (std::int64_t{1} << 62) - 1),
+               OverflowError);
+}
+
+TEST(IntMath, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+}
+
+TEST(IntMath, RoundUp) {
+  EXPECT_EQ(round_up(10, 8), 16);
+  EXPECT_EQ(round_up(16, 8), 16);
+  EXPECT_EQ(round_up(0, 8), 0);
+}
+
+TEST(IntMath, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(-4));
+  EXPECT_FALSE(is_pow2(48));
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,108 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ccs {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesToLowestTerms) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesSignToDenominator) {
+  const Rational r(3, -4);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+  const Rational s(-3, -4);
+  EXPECT_EQ(s.num(), 3);
+  EXPECT_EQ(s.den(), 4);
+}
+
+TEST(Rational, ZeroDenominatorThrows) { EXPECT_THROW(Rational(1, 0), RateError); }
+
+TEST(Rational, Arithmetic) {
+  const Rational half(1, 2);
+  const Rational third(1, 3);
+  EXPECT_EQ(half + third, Rational(5, 6));
+  EXPECT_EQ(half - third, Rational(1, 6));
+  EXPECT_EQ(half * third, Rational(1, 6));
+  EXPECT_EQ(half / third, Rational(3, 2));
+  EXPECT_EQ(-half, Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1, 2) / Rational(0), RateError);
+  EXPECT_THROW(Rational(0).reciprocal(), RateError);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3, 4).to_string(), "3/4");
+  EXPECT_EQ(Rational(8, 4).to_string(), "2");
+  std::ostringstream os;
+  os << Rational(-5, 10);
+  EXPECT_EQ(os.str(), "-1/2");
+}
+
+TEST(Rational, LongProductChainStaysExact) {
+  // Products of rate ratios like 2/3 * 3/2 * ... must come back to exactly 1.
+  Rational r(1);
+  for (int i = 2; i <= 20; ++i) {
+    r *= Rational(i, i + 1);
+    r *= Rational(i + 1, i);
+  }
+  EXPECT_EQ(r, Rational(1));
+}
+
+TEST(Rational, IntermediateOverflowHandledBy128BitMath) {
+  // num*den products exceed 64 bits before normalization but reduce fine.
+  const std::int64_t big = std::int64_t{1} << 40;
+  const Rational a(big, 3);
+  const Rational b(3, big);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, UnrepresentableResultThrows) {
+  const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+  const Rational a(big, 1);
+  EXPECT_THROW(a * a, OverflowError);
+}
+
+TEST(Rational, ReciprocalSwapsNumDen) {
+  EXPECT_EQ(Rational(3, 7).reciprocal(), Rational(7, 3));
+  EXPECT_EQ(Rational(-3, 7).reciprocal(), Rational(-7, 3));
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,83 @@
+#include "workloads/pipelines.h"
+
+#include <gtest/gtest.h>
+
+#include "sdf/gain.h"
+#include "sdf/validate.h"
+
+namespace ccs::workloads {
+namespace {
+
+using sdf::NodeId;
+
+void expect_valid_pipeline(const sdf::SdfGraph& g) {
+  EXPECT_TRUE(g.is_pipeline());
+  EXPECT_TRUE(sdf::validate(g, sdf::ValidationOptions{}).empty());
+}
+
+TEST(Pipelines, UniformStructure) {
+  const auto g = uniform_pipeline(8, 100, 2);
+  expect_valid_pipeline(g);
+  EXPECT_EQ(g.node_count(), 8);
+  EXPECT_EQ(g.edge_count(), 7);
+  EXPECT_EQ(g.total_state(), 800);
+  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(g.edge(e).out_rate, 2);
+    EXPECT_EQ(g.edge(e).in_rate, 2);
+  }
+}
+
+TEST(Pipelines, UniformRejectsTiny) {
+  EXPECT_THROW(uniform_pipeline(1, 10), ContractViolation);
+}
+
+TEST(Pipelines, RandomWithinBounds) {
+  Rng rng(5);
+  const auto g = random_pipeline(20, 10, 50, 4, rng);
+  expect_valid_pipeline(g);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.node(v).state, 10);
+    EXPECT_LE(g.node(v).state, 50);
+  }
+  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_GE(g.edge(e).out_rate, 1);
+    EXPECT_LE(g.edge(e).out_rate, 4);
+    EXPECT_GE(g.edge(e).in_rate, 1);
+    EXPECT_LE(g.edge(e).in_rate, 4);
+  }
+}
+
+TEST(Pipelines, RandomIsDeterministicPerSeed) {
+  Rng a(9);
+  Rng b(9);
+  const auto g1 = random_pipeline(10, 1, 100, 3, a);
+  const auto g2 = random_pipeline(10, 1, 100, 3, b);
+  for (NodeId v = 0; v < g1.node_count(); ++v) {
+    EXPECT_EQ(g1.node(v).state, g2.node(v).state);
+  }
+}
+
+TEST(Pipelines, HourglassRateProfile) {
+  const auto g = hourglass_pipeline(7, 10, 4);
+  expect_valid_pipeline(g);
+  // First edges decimate (in > out), last edges interpolate (out > in).
+  EXPECT_LT(g.edge(0).out_rate, g.edge(0).in_rate);
+  EXPECT_GT(g.edge(g.edge_count() - 1).out_rate, g.edge(g.edge_count() - 1).in_rate);
+}
+
+TEST(Pipelines, HourglassIsRateMatched) {
+  // Any chain is; mostly checks generator arithmetic didn't break gains.
+  EXPECT_TRUE(sdf::is_rate_matched(hourglass_pipeline(11, 10, 2)));
+}
+
+TEST(Pipelines, HeavyTailPlacesLargeModules) {
+  const auto g = heavy_tail_pipeline(10, 8, 512, 5);
+  expect_valid_pipeline(g);
+  EXPECT_EQ(g.node(4).state, 512);
+  EXPECT_EQ(g.node(9).state, 512);
+  EXPECT_EQ(g.node(0).state, 8);
+  EXPECT_EQ(g.total_state(), 8 * 8 + 2 * 512);
+}
+
+}  // namespace
+}  // namespace ccs::workloads

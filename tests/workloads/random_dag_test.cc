@@ -1,0 +1,97 @@
+#include "workloads/random_dag.h"
+
+#include <gtest/gtest.h>
+
+#include "sdf/gain.h"
+#include "sdf/topology.h"
+#include "sdf/validate.h"
+
+namespace ccs::workloads {
+namespace {
+
+using sdf::NodeId;
+
+TEST(LayeredDag, StructurallyValid) {
+  Rng rng(1);
+  LayeredSpec spec;
+  spec.layers = 5;
+  spec.width = 4;
+  const auto g = layered_homogeneous_dag(spec, rng);
+  EXPECT_TRUE(sdf::validate(g, sdf::ValidationOptions{}).empty());
+  EXPECT_TRUE(g.is_homogeneous());
+  EXPECT_EQ(g.node_count(), 2 + 5 * 4);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(LayeredDag, EveryModuleOnSourceSinkPath) {
+  Rng rng(2);
+  LayeredSpec spec;
+  spec.layers = 4;
+  spec.width = 5;
+  spec.edge_prob = 0.1;
+  const auto g = layered_homogeneous_dag(spec, rng);
+  const sdf::Reachability reach(g);
+  const NodeId src = g.sources().front();
+  const NodeId sink = g.sinks().front();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == src || v == sink) continue;
+    EXPECT_TRUE(reach.precedes(src, v)) << g.node(v).name;
+    EXPECT_TRUE(reach.precedes(v, sink)) << g.node(v).name;
+  }
+}
+
+TEST(LayeredDag, HomogeneousGainsAllOne) {
+  Rng rng(3);
+  const auto g = layered_homogeneous_dag(LayeredSpec{}, rng);
+  const sdf::GainMap gains(g);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(gains.node_gain(v), Rational(1));
+  }
+}
+
+TEST(LayeredDag, StatesWithinBounds) {
+  Rng rng(4);
+  LayeredSpec spec;
+  spec.state_lo = 100;
+  spec.state_hi = 200;
+  const auto g = layered_homogeneous_dag(spec, rng);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.node(v).state, 100);
+    EXPECT_LE(g.node(v).state, 200);
+  }
+}
+
+TEST(SeriesParallel, RateMatchedAcrossSeeds) {
+  SeriesParallelSpec spec;
+  spec.target_nodes = 25;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    const auto g = series_parallel_dag(spec, rng);
+    EXPECT_TRUE(sdf::is_rate_matched(g)) << "seed " << seed;
+    EXPECT_TRUE(sdf::is_acyclic(g)) << "seed " << seed;
+    EXPECT_EQ(g.sources().size(), 1u) << "seed " << seed;
+    EXPECT_EQ(g.sinks().size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(SeriesParallel, HitsRoughNodeBudget) {
+  SeriesParallelSpec spec;
+  spec.target_nodes = 40;
+  Rng rng(11);
+  const auto g = series_parallel_dag(spec, rng);
+  EXPECT_GE(g.node_count(), 10);
+  EXPECT_LE(g.node_count(), 120);  // splits/joins/normalizers inflate the count
+}
+
+TEST(SeriesParallel, SingleNodeBudgetYieldsSingleton) {
+  SeriesParallelSpec spec;
+  spec.target_nodes = 1;
+  Rng rng(12);
+  const auto g = series_parallel_dag(spec, rng);
+  EXPECT_EQ(g.node_count(), 1);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+}  // namespace
+}  // namespace ccs::workloads

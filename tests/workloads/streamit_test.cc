@@ -1,0 +1,126 @@
+#include "workloads/streamit.h"
+
+#include <gtest/gtest.h>
+
+#include "sdf/gain.h"
+#include "sdf/repetition.h"
+#include "sdf/validate.h"
+
+namespace ccs::workloads {
+namespace {
+
+using sdf::NodeId;
+
+TEST(StreamIt, SuiteHasTwelveApps) {
+  const auto suite = streamit_suite();
+  EXPECT_EQ(suite.size(), 12u);
+}
+
+TEST(StreamIt, AllAppsValidSingleSourceSink) {
+  for (const auto& app : streamit_suite()) {
+    const auto problems = sdf::validate(app.graph, sdf::ValidationOptions{});
+    EXPECT_TRUE(problems.empty()) << app.name << ": "
+                                  << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(StreamIt, AllAppsHaveComputableRepetitionVectors) {
+  for (const auto& app : streamit_suite()) {
+    EXPECT_NO_THROW(sdf::RepetitionVector{app.graph}) << app.name;
+  }
+}
+
+TEST(StreamIt, HomogeneousApps) {
+  EXPECT_TRUE(bitonic_sort(3).is_homogeneous());
+  EXPECT_TRUE(fft(4).is_homogeneous());
+  EXPECT_TRUE(des(8).is_homogeneous());
+  EXPECT_TRUE(serpent(8).is_homogeneous());
+}
+
+TEST(StreamIt, MultirateApps) {
+  EXPECT_FALSE(fm_radio().is_homogeneous());
+  EXPECT_FALSE(filter_bank().is_homogeneous());
+  EXPECT_FALSE(matrix_mult().is_homogeneous());
+  EXPECT_FALSE(vocoder().is_homogeneous());
+  EXPECT_FALSE(tde().is_homogeneous());
+  EXPECT_FALSE(radar().is_homogeneous());
+}
+
+TEST(StreamIt, SerpentIsLongLightPipeline) {
+  const auto g = serpent(32);
+  EXPECT_TRUE(g.is_pipeline());
+  EXPECT_EQ(g.node_count(), 2 + 32 * 3);
+  EXPECT_LT(g.max_state(), des(16).max_state());  // lighter rounds than DES
+}
+
+TEST(StreamIt, TdeIsMultiratePipelineWithFftState) {
+  const auto g = tde(64);
+  EXPECT_TRUE(g.is_pipeline());
+  const sdf::NodeId fwd = g.find_node("FFTfwd");
+  ASSERT_NE(fwd, sdf::kInvalidNode);
+  EXPECT_EQ(g.node(fwd).state, 128);  // twiddle tables scale with block size
+  const sdf::GainMap gains(g);
+  EXPECT_EQ(gains.node_gain(fwd), Rational(1, 64));
+}
+
+TEST(StreamIt, VocoderBinsScaleWidth) {
+  EXPECT_LT(vocoder(4).node_count(), vocoder(15).node_count());
+  EXPECT_TRUE(sdf::is_rate_matched(vocoder(7)));
+}
+
+TEST(StreamIt, RadarChannelsDecimate) {
+  const auto g = radar(8, 2);
+  const sdf::GainMap gains(g);
+  const sdf::NodeId cfar = g.find_node("CFAR0");
+  ASSERT_NE(cfar, sdf::kInvalidNode);
+  EXPECT_EQ(gains.node_gain(cfar), Rational(1, 2));  // 2:1 channel decimation
+}
+
+TEST(StreamIt, DesIsDeepPipeline) {
+  const auto g = des(16);
+  EXPECT_TRUE(g.is_pipeline());
+  EXPECT_EQ(g.node_count(), 2 + 16 * 4);
+}
+
+TEST(StreamIt, MatrixMultIsPipeline) { EXPECT_TRUE(matrix_mult().is_pipeline()); }
+
+TEST(StreamIt, FmRadioBandsScaleWidth) {
+  const auto narrow = fm_radio(2);
+  const auto wide = fm_radio(10);
+  EXPECT_LT(narrow.node_count(), wide.node_count());
+  EXPECT_EQ(wide.node_count() - narrow.node_count(), 8 * 2);  // 2 modules per band
+}
+
+TEST(StreamIt, FilterBankDecimatesByChannelCount) {
+  const auto g = filter_bank(8);
+  const sdf::GainMap gains(g);
+  const NodeId down0 = g.find_node("Down0");
+  ASSERT_NE(down0, sdf::kInvalidNode);
+  EXPECT_EQ(gains.node_gain(down0), Rational(1, 8));
+}
+
+TEST(StreamIt, BeamformerFiltersCarryState) {
+  const auto g = beamformer(4, 2);
+  std::int64_t fir_state = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.node(v).name.rfind("CoarseFIR", 0) == 0) fir_state += g.node(v).state;
+  }
+  EXPECT_EQ(fir_state, 4 * 64);
+}
+
+TEST(StreamIt, SboxStateDominatesDes) {
+  const auto g = des(16);
+  std::int64_t sbox = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.node(v).name.rfind("Sbox", 0) == 0) sbox += g.node(v).state;
+  }
+  EXPECT_GT(sbox, g.total_state() / 2);
+}
+
+TEST(StreamIt, ButterflyNetworksAreDags) {
+  EXPECT_TRUE(sdf::validate(bitonic_sort(3), sdf::ValidationOptions{}).empty());
+  EXPECT_TRUE(sdf::validate(fft(4), sdf::ValidationOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace ccs::workloads
