@@ -25,6 +25,20 @@ struct ChosenPartition {
   std::string name;
 };
 
+// Both facade entry points take a caller-supplied cache geometry; reject
+// degenerate ones as recoverable input errors before any contract deep in
+// the cache simulator can fire.
+void check_cache_geometry(const iomodel::CacheConfig& cache) {
+  if (cache.block_words <= 0) {
+    throw MemoryError("cache block size must be positive");
+  }
+  if (cache.capacity_words < cache.block_words) {
+    throw MemoryError("cache must hold at least one block (capacity " +
+                      std::to_string(cache.capacity_words) + " words, block " +
+                      std::to_string(cache.block_words) + " words)");
+  }
+}
+
 ChosenPartition choose_partition(const sdf::SdfGraph& g, const PlannerOptions& options) {
   const auto state_bound =
       static_cast<std::int64_t>(options.c_bound *
@@ -85,6 +99,7 @@ ChosenPartition choose_partition(const sdf::SdfGraph& g, const PlannerOptions& o
 }  // namespace
 
 Plan plan(const sdf::SdfGraph& g, const PlannerOptions& options) {
+  check_cache_geometry(options.cache);
   sdf::ValidationOptions validation;
   validation.max_module_state = options.cache.capacity_words;
   sdf::validate_or_throw(g, validation);
@@ -112,6 +127,7 @@ runtime::RunResult simulate(const sdf::SdfGraph& g, const schedule::Schedule& s,
                             const iomodel::CacheConfig& cache_config,
                             std::int64_t target_outputs,
                             runtime::EngineOptions engine_options) {
+  check_cache_geometry(cache_config);
   CCS_EXPECTS(target_outputs > 0, "output target must be positive");
   iomodel::LruCache cache(cache_config);
   runtime::Engine engine(g, s.buffer_caps, cache, engine_options);

@@ -63,12 +63,15 @@ struct Plan {
 };
 
 /// Builds a complete plan. Throws GraphError/RateError for graphs outside
-/// the paper's model and ccs::Error when no c-bounded partition exists.
+/// the paper's model, MemoryError for a degenerate cache geometry (zero or
+/// negative capacity, cache smaller than one block), and ccs::Error when no
+/// c-bounded partition exists.
 Plan plan(const sdf::SdfGraph& g, const PlannerOptions& options);
 
 /// Executes a schedule (any scheduler's) on a fresh fully-associative LRU
 /// cache of the given geometry until at least `target_outputs` sink firings,
-/// returning accumulated counters.
+/// returning accumulated counters. Throws MemoryError for a degenerate
+/// cache geometry (same check as plan).
 runtime::RunResult simulate(const sdf::SdfGraph& g, const schedule::Schedule& s,
                             const iomodel::CacheConfig& cache_config,
                             std::int64_t target_outputs,

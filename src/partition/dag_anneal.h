@@ -26,7 +26,7 @@ struct AnnealOptions {
   std::int32_t iterations = 20000; ///< Proposed moves.
   double initial_temp = 1.0;       ///< In units of mean edge gain.
   double cooling = 0.9995;         ///< Geometric decay per iteration.
-  std::uint64_t seed = 1;
+  std::uint64_t seed = 1;          ///< RNG seed (runs are deterministic per seed).
 };
 
 /// Anneals from `start` (must be valid, well ordered, bounded). Returns the

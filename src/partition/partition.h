@@ -23,7 +23,7 @@ namespace ccs::partition {
 /// A partition of graph nodes into components 0..num_components-1.
 struct Partition {
   std::vector<std::int32_t> assignment;  ///< node id -> component id.
-  std::int32_t num_components = 0;
+  std::int32_t num_components = 0;       ///< Component ids are 0..num_components-1.
 
   /// Builds from explicit component node lists (they must cover every node
   /// exactly once; throws ccs::Error otherwise).
@@ -76,13 +76,15 @@ Partition renumber_topological(const sdf::SdfGraph& g, const Partition& p);
 
 /// All quality metrics in one sweep, for tables and tests.
 struct PartitionQuality {
-  Rational bandwidth;
-  std::int64_t max_state = 0;
-  std::int32_t max_degree = 0;
+  Rational bandwidth;                 ///< Sum of cross-edge gains (Definition 3).
+  std::int64_t max_state = 0;         ///< Largest component state (words).
+  std::int32_t max_degree = 0;        ///< Largest cross-edge degree.
   std::int32_t num_components = 0;
-  bool well_ordered = false;
+  bool well_ordered = false;          ///< Contracted multigraph acyclic?
 };
 
+/// Computes every quality metric of `p` at once (one pass over the edges
+/// instead of one call per metric).
 PartitionQuality measure(const sdf::SdfGraph& g, const sdf::GainMap& gains,
                          const Partition& p);
 

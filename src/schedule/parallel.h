@@ -31,10 +31,10 @@ namespace ccs::schedule {
 
 /// Result of a parallel simulation.
 struct ParallelResult {
-  std::int32_t workers = 0;
+  std::int32_t workers = 0;                   ///< Worker count simulated.
   std::int64_t makespan = 0;                  ///< Time units until last completion.
   std::int64_t total_misses = 0;              ///< Summed over worker caches.
-  std::int64_t total_firings = 0;
+  std::int64_t total_firings = 0;             ///< Module firings across all workers.
   std::int64_t outputs = 0;                   ///< Sink firings completed.
   std::vector<std::int64_t> worker_misses;    ///< Per worker.
   std::vector<std::int64_t> worker_busy;      ///< Busy time units per worker.

@@ -17,6 +17,8 @@ namespace ccs::schedule {
 /// Channel token counts + firing bookkeeping for one graph.
 class TokenSim {
  public:
+  /// Starts with all channels empty under the given per-edge capacities
+  /// (`caps` must have one entry per edge of `g`).
   TokenSim(const sdf::SdfGraph& g, std::span<const std::int64_t> caps);
 
   /// True iff inputs suffice and outputs have space.
@@ -29,15 +31,19 @@ class TokenSim {
   /// Fires v exactly `count` times. Throws ScheduleError on violation.
   void fire(sdf::NodeId v, std::int64_t count = 1);
 
+  /// Tokens currently queued on edge e.
   std::int64_t tokens(sdf::EdgeId e) const {
     return tokens_[static_cast<std::size_t>(e)];
   }
+  /// Remaining room on edge e (capacity - tokens).
   std::int64_t space(sdf::EdgeId e) const {
     return caps_[static_cast<std::size_t>(e)] - tokens_[static_cast<std::size_t>(e)];
   }
+  /// Ring capacity of edge e, as passed at construction.
   std::int64_t capacity(sdf::EdgeId e) const {
     return caps_[static_cast<std::size_t>(e)];
   }
+  /// Total firings of node v so far.
   std::int64_t fired(sdf::NodeId v) const {
     return fired_[static_cast<std::size_t>(v)];
   }

@@ -22,7 +22,7 @@ struct ScheduleReport {
   std::string problem;                ///< Empty when ok.
   std::vector<std::int64_t> peak;     ///< Max tokens ever queued per edge.
   std::int64_t source_firings = 0;    ///< Per period (from the last replay).
-  std::int64_t sink_firings = 0;
+  std::int64_t sink_firings = 0;      ///< Per period (from the last replay).
 };
 
 /// Replays `repeats` periods. Never throws; failures land in `problem`.

@@ -76,6 +76,51 @@ TEST(Planner, RejectsInvalidGraphs) {
   EXPECT_THROW(core::plan(oversized, small_cache()), GraphError);
 }
 
+TEST(Planner, RejectsRateMismatchedGraph) {
+  // Diamond with inconsistent rates: the b->d and c->d edges demand
+  // different repetition counts for d, so no repetition vector exists.
+  // validate_or_throw aggregates all problems into one GraphError.
+  sdf::SdfGraph g;
+  const auto a = g.add_node("a", 8);
+  const auto b = g.add_node("b", 8);
+  const auto c = g.add_node("c", 8);
+  const auto d = g.add_node("d", 8);
+  g.add_edge(a, b, 1, 1);
+  g.add_edge(a, c, 1, 1);
+  g.add_edge(b, d, 1, 1);
+  g.add_edge(c, d, 2, 1);
+  EXPECT_THROW(core::plan(g, small_cache()), GraphError);
+}
+
+TEST(Planner, RejectsZeroCapacityCache) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 64);
+  auto opts = small_cache();
+  opts.cache.capacity_words = 0;
+  EXPECT_THROW(core::plan(g, opts), MemoryError);
+  opts.cache.capacity_words = -64;
+  EXPECT_THROW(core::plan(g, opts), MemoryError);
+  // A cache smaller than one block is equally degenerate.
+  opts.cache.capacity_words = 4;
+  opts.cache.block_words = 8;
+  EXPECT_THROW(core::plan(g, opts), MemoryError);
+}
+
+TEST(Simulate, RejectsZeroCapacityCache) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 64);
+  const auto s = schedule::naive_minimal_buffer_schedule(g);
+  EXPECT_THROW(core::simulate(g, s, iomodel::CacheConfig{0, 8}, 100),
+               MemoryError);
+  EXPECT_THROW(core::simulate(g, s, iomodel::CacheConfig{512, 0}, 100),
+               MemoryError);
+}
+
+TEST(Simulate, RejectsNonPositiveOutputTarget) {
+  const auto g = ccs::workloads::uniform_pipeline(4, 64);
+  const auto s = schedule::naive_minimal_buffer_schedule(g);
+  EXPECT_THROW(core::simulate(g, s, iomodel::CacheConfig{512, 8}, 0),
+               ContractViolation);
+}
+
 TEST(Planner, PredictionPopulated) {
   const auto g = ccs::workloads::uniform_pipeline(12, 200);
   const auto plan = core::plan(g, small_cache());
