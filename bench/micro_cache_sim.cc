@@ -1,12 +1,23 @@
 // Microbenchmark: cache simulator throughput (google-benchmark).
 //
 // The experiment harness's wall-clock time is dominated by simulated memory
-// accesses; these benches track accesses/second for each cache variant so
-// regressions in the hot path are caught.
+// accesses; these benches track simulated accesses/second for each cache
+// variant so regressions in the hot path are caught.
+//
+// Two families:
+//  * range regimes (BM_LruHot, BM_LruSequential, BM_*Range) drive the cache
+//    through the block-granular bulk API exactly as the runtime engine does
+//    (state scans, channel ring segments); items = simulated block accesses.
+//  * scalar regimes (BM_*Scalar*, BM_LruRandom) issue one virtual access()
+//    per word over a precomputed address stream, tracking the non-bulk path
+//    without measuring the RNG.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "iomodel/cache.h"
+#include "iomodel/hierarchy.h"
 #include "iomodel/opt_cache.h"
 #include "util/rng.h"
 
@@ -14,47 +25,109 @@ namespace {
 
 using namespace ccs::iomodel;
 
+constexpr std::int64_t kSpanWords = 64;  // typical state-scan / ring-segment span
+
+std::vector<Addr> random_addrs(std::uint64_t seed, std::int64_t hi_inclusive, int n) {
+  ccs::Rng rng(seed);
+  std::vector<Addr> addrs;
+  addrs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) addrs.push_back(rng.uniform(0, hi_inclusive));
+  return addrs;
+}
+
+// Resident regime through the bulk API: random 64-word spans inside half the
+// cache, so every block access is a hit -- the common case when a scheduled
+// component fits in cache. Items = simulated block accesses.
+void BM_LruHot(benchmark::State& state) {
+  LruCache cache(CacheConfig{64 * 1024, 8});
+  const auto starts = random_addrs(2, 32 * 1024 - kSpanWords, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cache.access_span(starts[i], kSpanWords, AccessMode::kRead);
+    if (++i == starts.size()) i = 0;
+  }
+  state.SetItemsProcessed(cache.stats().accesses);
+}
+BENCHMARK(BM_LruHot);
+
+// Streaming regime through the bulk API: a long sequential scan in 64-word
+// chunks; every block is a cold miss with an eviction, like a working set
+// far beyond M. Items = simulated block accesses.
 void BM_LruSequential(benchmark::State& state) {
   LruCache cache(CacheConfig{64 * 1024, 8});
   Addr a = 0;
   for (auto _ : state) {
-    cache.access(a, AccessMode::kRead);
-    a = (a + 8) % (256 * 1024);
+    cache.access_span(a, kSpanWords, AccessMode::kRead);
+    a += kSpanWords;
+    if (a >= (Addr{1} << 40)) a = 0;
   }
-  state.SetItemsProcessed(state.iterations());
+  state.SetItemsProcessed(cache.stats().accesses);
 }
 BENCHMARK(BM_LruSequential);
 
+// Scalar hit path: one virtual access() per word, precomputed addresses.
+void BM_LruScalarHot(benchmark::State& state) {
+  LruCache cache(CacheConfig{64 * 1024, 8});
+  const auto addrs = random_addrs(2, 32 * 1024, 65536);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cache.access(addrs[i], AccessMode::kRead);
+    if (++i == addrs.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruScalarHot);
+
+// Scalar mixed hit/miss path over a large address space.
 void BM_LruRandom(benchmark::State& state) {
   LruCache cache(CacheConfig{64 * 1024, 8});
-  ccs::Rng rng(1);
+  const auto addrs = random_addrs(1, 1 << 22, 65536);
+  std::size_t i = 0;
   for (auto _ : state) {
-    cache.access(rng.uniform(0, 1 << 22), AccessMode::kRead);
+    cache.access(addrs[i], AccessMode::kRead);
+    if (++i == addrs.size()) i = 0;
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LruRandom);
 
-void BM_LruHot(benchmark::State& state) {
-  // All hits: the common case when a component is resident.
-  LruCache cache(CacheConfig{64 * 1024, 8});
-  ccs::Rng rng(2);
-  for (auto _ : state) {
-    cache.access(rng.uniform(0, 32 * 1024), AccessMode::kRead);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_LruHot);
-
 void BM_SetAssociativeRandom(benchmark::State& state) {
   SetAssociativeCache cache(CacheConfig{64 * 1024, 8}, 8);
-  ccs::Rng rng(3);
+  const auto addrs = random_addrs(3, 1 << 22, 65536);
+  std::size_t i = 0;
   for (auto _ : state) {
-    cache.access(rng.uniform(0, 1 << 22), AccessMode::kRead);
+    cache.access(addrs[i], AccessMode::kRead);
+    if (++i == addrs.size()) i = 0;
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SetAssociativeRandom);
+
+// Bulk resident regime on realistic geometry.
+void BM_SetAssociativeRange(benchmark::State& state) {
+  SetAssociativeCache cache(CacheConfig{64 * 1024, 8}, 8);
+  const auto starts = random_addrs(5, 32 * 1024 - kSpanWords, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cache.access_span(starts[i], kSpanWords, AccessMode::kRead);
+    if (++i == starts.size()) i = 0;
+  }
+  state.SetItemsProcessed(cache.stats().accesses);
+}
+BENCHMARK(BM_SetAssociativeRange);
+
+// Bulk resident regime through a two-level hierarchy (every span hits L1).
+void BM_HierarchyRange(benchmark::State& state) {
+  HierarchyCache cache({64 * 1024, 512 * 1024}, 8);
+  const auto starts = random_addrs(6, 32 * 1024 - kSpanWords, 4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cache.access_span(starts[i], kSpanWords, AccessMode::kRead);
+    if (++i == starts.size()) i = 0;
+  }
+  state.SetItemsProcessed(cache.level_stats(0).accesses);
+}
+BENCHMARK(BM_HierarchyRange);
 
 void BM_OptOffline(benchmark::State& state) {
   ccs::Rng rng(4);

@@ -1,8 +1,10 @@
 // Microbenchmark: streaming engine throughput (google-benchmark).
 //
 // Firings/second of the token+cache execution engine, the inner loop of
-// every experiment. Two regimes: resident (component fits, mostly hits)
-// and thrashing (state exceeds cache, mostly misses).
+// every experiment. Regimes: resident (component fits, mostly hits),
+// thrashing (state exceeds cache, mostly misses), attribution overhead, and
+// a wide split-join (many short channels per firing, stressing the
+// precomputed firing plans rather than the state scan).
 
 #include <benchmark/benchmark.h>
 
@@ -11,13 +13,13 @@
 #include "schedule/naive.h"
 #include "sdf/min_buffer.h"
 #include "workloads/pipelines.h"
+#include "workloads/streamit.h"
 
 namespace {
 
 using namespace ccs;
 
-void run_engine(benchmark::State& state, std::int64_t cache_words) {
-  const auto g = workloads::uniform_pipeline(16, 256);
+void run_engine(benchmark::State& state, const sdf::SdfGraph& g, std::int64_t cache_words) {
   const auto naive = schedule::naive_minimal_buffer_schedule(g);
   iomodel::LruCache cache(iomodel::CacheConfig{cache_words, 8});
   runtime::EngineOptions opts;
@@ -31,11 +33,23 @@ void run_engine(benchmark::State& state, std::int64_t cache_words) {
   state.SetItemsProcessed(firings);
 }
 
-void BM_EngineResident(benchmark::State& state) { run_engine(state, 64 * 1024); }
+void BM_EngineResident(benchmark::State& state) {
+  run_engine(state, workloads::uniform_pipeline(16, 256), 64 * 1024);
+}
 BENCHMARK(BM_EngineResident);
 
-void BM_EngineThrashing(benchmark::State& state) { run_engine(state, 1024); }
+void BM_EngineThrashing(benchmark::State& state) {
+  run_engine(state, workloads::uniform_pipeline(16, 256), 1024);
+}
 BENCHMARK(BM_EngineThrashing);
+
+// 32 parallel single-tap filters under a duplicating split: each joiner
+// firing moves one token across each of 32 packed one-word channels, so the
+// firing plan and channel bookkeeping dominate, not the state scan.
+void BM_EngineWideSplitJoin(benchmark::State& state) {
+  run_engine(state, workloads::channel_vocoder(32), 64 * 1024);
+}
+BENCHMARK(BM_EngineWideSplitJoin);
 
 void BM_EngineWithAttribution(benchmark::State& state) {
   const auto g = workloads::uniform_pipeline(16, 256);

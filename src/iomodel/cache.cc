@@ -1,58 +1,248 @@
 #include "iomodel/cache.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 #include "util/int_math.h"
 
 namespace ccs::iomodel {
 
+namespace {
+
+constexpr std::int64_t kMaxInt64 = std::numeric_limits<std::int64_t>::max();
+
+inline void prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
+CacheSim::CacheSim(std::int64_t block_words)
+    : block_words_(block_words),
+      block_shift_(is_pow2(block_words)
+                       ? static_cast<std::int32_t>(
+                             std::countr_zero(static_cast<std::uint64_t>(block_words)))
+                       : -1) {
+  CCS_EXPECTS(block_words > 0, "block size must be positive");
+}
+
+void CacheSim::access_blocks(BlockId first, std::int64_t count, AccessMode mode) {
+  CCS_EXPECTS(first >= 0, "negative block id");
+  CCS_EXPECTS(count >= 0, "negative block count");
+  CCS_EXPECTS(first <= kMaxInt64 - count, "block range overflows");
+  if (count == 0) return;
+  // Every block in the range must have an addressable first word, so the
+  // bulk path and the word-at-a-time reference agree on their domain.
+  CCS_EXPECTS(first + count - 1 <= kMaxInt64 / block_words_,
+              "block range exceeds address space");
+  do_access_blocks(first, count, mode);
+}
+
+void CacheSim::access_span(Addr addr, std::int64_t words, AccessMode mode) {
+  CCS_EXPECTS(addr >= 0, "negative address");
+  CCS_EXPECTS(words >= 0, "negative span length");
+  CCS_EXPECTS(addr <= kMaxInt64 - words, "span overflows address space");
+  if (words == 0) return;
+  const BlockId first = block_of(addr);
+  const BlockId last = block_of(addr + words - 1);
+  do_access_blocks(first, last - first + 1, mode);
+}
+
 void CacheSim::access_range(Addr addr, std::int64_t count, AccessMode mode) {
+  CCS_EXPECTS(addr >= 0, "negative address");
   CCS_EXPECTS(count >= 0, "negative access count");
+  CCS_EXPECTS(addr <= kMaxInt64 - count, "range overflows address space");
   for (std::int64_t i = 0; i < count; ++i) access(addr + i, mode);
 }
 
+void CacheSim::do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) {
+  for (BlockId b = first, e = first + count; b != e; ++b) access(b * block_words_, mode);
+}
+
 LruCache::LruCache(const CacheConfig& config)
-    : config_(config), capacity_blocks_(config.capacity_blocks()) {
+    : CacheSim(config.block_words),
+      config_(config),
+      capacity_blocks_(config.capacity_blocks()) {
   CCS_EXPECTS(capacity_blocks_ >= 1, "cache must hold at least one block");
+  CCS_EXPECTS(capacity_blocks_ < (std::int64_t{1} << 31) - 1,
+              "LRU capacity too large for the flat node slab");
+  // Size the probe table for the full capacity up front when it is modest
+  // (<= 2^16 blocks: load factor <= 1/2 forever, no rehash ever). Larger
+  // capacities start there and double as the working set grows; growth
+  // stops once it stabilizes, so the steady state is allocation-free
+  // either way.
+  const auto eager = static_cast<std::uint64_t>(
+      std::min<std::int64_t>(capacity_blocks_, std::int64_t{1} << 16));
+  const std::size_t table_size = std::bit_ceil(std::max<std::uint64_t>(16, 2 * eager));
+  table_.assign(table_size, kNil);
+  table_mask_ = table_size - 1;
+  table_shift_ = static_cast<std::int32_t>(
+      64 - std::countr_zero(static_cast<std::uint64_t>(table_size)));
+  slab_.reserve(static_cast<std::size_t>(eager) + 1);
+  slab_.push_back(Node{-1, 0, 0, false});  // sentinel; empty circular list
+}
+
+std::size_t LruCache::find_slot(BlockId block) const {
+  std::size_t slot = home_slot(block);
+  while (table_[slot] != kNil &&
+         slab_[static_cast<std::size_t>(table_[slot])].block != block) {
+    slot = (slot + 1) & table_mask_;
+  }
+  return slot;
+}
+
+void LruCache::erase_slot(std::size_t slot) {
+  // Backward-shift deletion keeps probe sequences contiguous without
+  // tombstones: walk forward from the hole, moving back every entry whose
+  // home slot does not lie strictly inside (hole, probe].
+  std::size_t hole = slot;
+  std::size_t probe = slot;
+  while (true) {
+    probe = (probe + 1) & table_mask_;
+    const std::int32_t idx = table_[probe];
+    if (idx == kNil) break;
+    const std::size_t home = home_slot(slab_[static_cast<std::size_t>(idx)].block);
+    if (((probe - home) & table_mask_) >= ((probe - hole) & table_mask_)) {
+      table_[hole] = idx;
+      hole = probe;
+    }
+  }
+  table_[hole] = kNil;
+}
+
+void LruCache::grow_table() {
+  const std::size_t table_size = table_.size() * 2;
+  table_.assign(table_size, kNil);
+  table_mask_ = table_size - 1;
+  table_shift_ = static_cast<std::int32_t>(
+      64 - std::countr_zero(static_cast<std::uint64_t>(table_size)));
+  for (std::int32_t i = 1; i <= size_; ++i) {
+    std::size_t slot = home_slot(slab_[static_cast<std::size_t>(i)].block);
+    while (table_[slot] != kNil) slot = (slot + 1) & table_mask_;
+    table_[slot] = i;
+  }
+}
+
+void LruCache::move_to_front(std::int32_t idx) {
+  if (slab_[0].next == idx) return;  // already MRU
+  Node& n = slab_[static_cast<std::size_t>(idx)];
+  // Branch-free circular relink through the sentinel.
+  slab_[static_cast<std::size_t>(n.prev)].next = n.next;
+  slab_[static_cast<std::size_t>(n.next)].prev = n.prev;
+  const std::int32_t old_head = slab_[0].next;
+  n.prev = 0;
+  n.next = old_head;
+  slab_[static_cast<std::size_t>(old_head)].prev = idx;
+  slab_[0].next = idx;
+}
+
+bool LruCache::touch_block(BlockId block, bool write) {
+  std::size_t slot = find_slot(block);
+  std::int32_t idx = table_[slot];
+  if (idx != kNil) {
+    if (write) slab_[static_cast<std::size_t>(idx)].dirty = true;
+    move_to_front(idx);
+    return true;
+  }
+  if (size_ == capacity_blocks_) {
+    // Evict the LRU block in place: reuse its node for the incoming block.
+    idx = slab_[0].prev;
+    Node& victim = slab_[static_cast<std::size_t>(idx)];
+    if (victim.dirty) ++stats_.writebacks;
+    erase_slot(find_slot(victim.block));
+    slot = find_slot(block);  // erase may have shifted entries
+    victim.block = block;
+    victim.dirty = write;
+    move_to_front(idx);
+  } else {
+    if (2 * static_cast<std::size_t>(size_ + 1) > table_.size()) {
+      grow_table();
+      slot = find_slot(block);
+    }
+    idx = static_cast<std::int32_t>(++size_);
+    if (static_cast<std::size_t>(idx) == slab_.size()) {
+      slab_.push_back(Node{block, 0, 0, write});
+    } else {
+      slab_[static_cast<std::size_t>(idx)] = Node{block, 0, 0, write};
+    }
+    const std::int32_t old_head = slab_[0].next;
+    slab_[static_cast<std::size_t>(idx)].next = old_head;
+    slab_[static_cast<std::size_t>(old_head)].prev = idx;
+    slab_[0].next = idx;
+  }
+  table_[slot] = idx;
+  return false;
 }
 
 void LruCache::access(Addr addr, AccessMode mode) {
   CCS_EXPECTS(addr >= 0, "negative address");
   ++stats_.accesses;
-  const BlockId block = addr / config_.block_words;
-  const auto it = map_.find(block);
-  if (it != map_.end()) {
+  if (touch_block(block_of(addr), mode == AccessMode::kWrite)) {
     ++stats_.hits;
-    // Move to MRU position.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    if (mode == AccessMode::kWrite) it->second->dirty = true;
-    return;
+  } else {
+    ++stats_.misses;
   }
-  ++stats_.misses;
-  if (static_cast<std::int64_t>(lru_.size()) == capacity_blocks_) {
-    const Line& victim = lru_.back();
-    if (victim.dirty) ++stats_.writebacks;
-    map_.erase(victim.block);
-    lru_.pop_back();
+}
+
+void LruCache::do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) {
+  const bool write = mode == AccessMode::kWrite;
+  std::int64_t hits = 0;
+  // Keep the MRU head in a register across the span: the per-block relink
+  // otherwise carries a store/load dependency through slab_[0].next.
+  std::int32_t head = slab_[0].next;
+  for (BlockId b = first, e = first + count; b != e; ++b) {
+    prefetch(&table_[home_slot(b + 1)]);  // harmless one-past-the-end probe
+    const std::int32_t idx = table_[find_slot(b)];
+    if (idx != kNil) {
+      ++hits;
+      Node& n = slab_[static_cast<std::size_t>(idx)];
+      if (write) n.dirty = true;
+      if (head != idx) {
+        // idx is not the head, so n.prev != 0 and nothing here reads the
+        // (stale) slab_[0].next; n.next may be the sentinel, whose .prev
+        // (the LRU tail) stays exact.
+        slab_[static_cast<std::size_t>(n.prev)].next = n.next;
+        slab_[static_cast<std::size_t>(n.next)].prev = n.prev;
+        n.prev = 0;
+        n.next = head;
+        slab_[static_cast<std::size_t>(head)].prev = idx;
+        head = idx;
+      }
+    } else {
+      // The miss path walks the list through the sentinel (eviction, table
+      // maintenance): sync the cached head around it.
+      slab_[0].next = head;
+      touch_block(b, write);
+      head = slab_[0].next;
+    }
   }
-  lru_.push_front(Line{block, mode == AccessMode::kWrite});
-  map_[block] = lru_.begin();
+  slab_[0].next = head;
+  stats_.accesses += count;
+  stats_.hits += hits;
+  stats_.misses += count - hits;
 }
 
 void LruCache::flush() {
-  for (const Line& line : lru_) {
-    if (line.dirty) ++stats_.writebacks;
+  for (std::int32_t i = 1; i <= size_; ++i) {
+    if (slab_[static_cast<std::size_t>(i)].dirty) ++stats_.writebacks;
   }
-  lru_.clear();
-  map_.clear();
+  std::fill(table_.begin(), table_.end(), kNil);
+  slab_[0].prev = slab_[0].next = 0;
+  size_ = 0;
 }
 
 bool LruCache::contains(Addr addr) const {
-  return map_.count(addr / config_.block_words) > 0;
+  if (addr < 0) return false;
+  return table_[find_slot(block_of(addr))] != kNil;
 }
 
 SetAssociativeCache::SetAssociativeCache(const CacheConfig& config, std::int32_t ways)
-    : config_(config), ways_(ways) {
+    : CacheSim(config.block_words), config_(config), ways_(ways) {
   CCS_EXPECTS(ways >= 1, "need at least one way");
   const std::int64_t blocks = config.capacity_blocks();
   CCS_EXPECTS(blocks % ways == 0, "capacity_blocks must be divisible by ways");
@@ -61,21 +251,17 @@ SetAssociativeCache::SetAssociativeCache(const CacheConfig& config, std::int32_t
   lines_.assign(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(ways_), Way{});
 }
 
-void SetAssociativeCache::access(Addr addr, AccessMode mode) {
-  CCS_EXPECTS(addr >= 0, "negative address");
-  ++stats_.accesses;
+bool SetAssociativeCache::touch_block(BlockId block, bool write) {
   ++tick_;
-  const BlockId block = addr / config_.block_words;
   const std::size_t base = set_index(block) * static_cast<std::size_t>(ways_);
 
   Way* lru_way = &lines_[base];
   for (std::int32_t w = 0; w < ways_; ++w) {
     Way& way = lines_[base + static_cast<std::size_t>(w)];
     if (way.valid && way.block == block) {
-      ++stats_.hits;
       way.last_use = tick_;
-      if (mode == AccessMode::kWrite) way.dirty = true;
-      return;
+      if (write) way.dirty = true;
+      return true;
     }
     if (!way.valid) {
       lru_way = &way;  // prefer an empty way over evicting
@@ -83,9 +269,32 @@ void SetAssociativeCache::access(Addr addr, AccessMode mode) {
       lru_way = &way;
     }
   }
-  ++stats_.misses;
   if (lru_way->valid && lru_way->dirty) ++stats_.writebacks;
-  *lru_way = Way{block, tick_, true, mode == AccessMode::kWrite};
+  *lru_way = Way{block, tick_, true, write};
+  return false;
+}
+
+void SetAssociativeCache::access(Addr addr, AccessMode mode) {
+  CCS_EXPECTS(addr >= 0, "negative address");
+  ++stats_.accesses;
+  if (touch_block(block_of(addr), mode == AccessMode::kWrite)) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+}
+
+void SetAssociativeCache::do_access_blocks(BlockId first, std::int64_t count,
+                                           AccessMode mode) {
+  const bool write = mode == AccessMode::kWrite;
+  std::int64_t hits = 0;
+  for (BlockId b = first, e = first + count; b != e; ++b) {
+    if (b + 1 != e) prefetch(&lines_[set_index(b + 1) * static_cast<std::size_t>(ways_)]);
+    hits += touch_block(b, write) ? 1 : 0;
+  }
+  stats_.accesses += count;
+  stats_.hits += hits;
+  stats_.misses += count - hits;
 }
 
 void SetAssociativeCache::flush() {

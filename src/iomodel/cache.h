@@ -8,12 +8,20 @@
 //
 // All implementations count *block transfers*: an access to an uncached
 // block is one miss; evicting a dirty block is one writeback.
+//
+// Hot path: the runtime touches memory in contiguous spans (channel ring
+// segments, module state regions), so CacheSim exposes a block-granular bulk
+// API -- access_blocks() and the word-range wrapper access_span() -- that
+// costs one simulated access per block with a single virtual dispatch per
+// span. Implementations override do_access_blocks() to run the whole span
+// through their non-virtual per-block fast path; the default falls back to
+// one access() per block. Bulk and per-access paths produce bit-identical
+// CacheStats and replacement state (tests/iomodel/bulk_access_test.cc checks
+// this differentially).
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "iomodel/types.h"
@@ -25,8 +33,22 @@ class CacheSim {
  public:
   virtual ~CacheSim() = default;
 
+  /// Block size shared by every level/way of this cache, in words.
+  std::int64_t block_words() const noexcept { return block_words_; }
+
   /// Touches one word; loads the containing block on a miss.
   virtual void access(Addr addr, AccessMode mode) = 0;
+
+  /// Touches `count` consecutive blocks starting at `first`: one simulated
+  /// access per block, in ascending order. Equivalent to (but much cheaper
+  /// than) calling access(b * B, mode) for each block b.
+  void access_blocks(BlockId first, std::int64_t count, AccessMode mode);
+
+  /// Word-range wrapper around access_blocks(): one simulated access per
+  /// block overlapping [addr, addr + words). This is how the runtime touches
+  /// a contiguous span -- identical misses and recency order to touching
+  /// every word, at O(words/B) simulator work.
+  void access_span(Addr addr, std::int64_t words, AccessMode mode);
 
   /// Evicts everything (dirty blocks count as writebacks). Statistics are
   /// preserved; only contents are dropped.
@@ -35,17 +57,49 @@ class CacheSim {
   /// True if the containing block is resident.
   virtual bool contains(Addr addr) const = 0;
 
-  /// Cumulative transfer counters.
+  /// Cumulative transfer counters. The returned reference must stay valid
+  /// for the cache's lifetime and track subsequent accesses live (callers
+  /// such as the runtime engine hold it across accesses and re-read the
+  /// counters for per-phase deltas) — return a reference to the internal
+  /// counters, not to a lazily assembled snapshot.
   virtual const CacheStats& stats() const = 0;
 
   /// Geometry this cache was built with.
   virtual const CacheConfig& config() const = 0;
 
-  /// Convenience: touch `count` consecutive words starting at addr.
+  /// Convenience: touch `count` consecutive words starting at addr (one
+  /// simulated access per *word*, unlike the block-granular span API).
   void access_range(Addr addr, std::int64_t count, AccessMode mode);
+
+ protected:
+  /// `block_words` must match config().block_words; the base class caches it
+  /// (plus its log2 when it is a power of two) so the span-to-block
+  /// arithmetic on the hot path needs no virtual dispatch and no division.
+  explicit CacheSim(std::int64_t block_words);
+
+  /// Block containing a (non-negative) word address.
+  BlockId block_of(Addr addr) const {
+    return block_shift_ >= 0 ? addr >> block_shift_ : addr / block_words_;
+  }
+
+  /// Bulk implementation hook; called with a validated, non-empty range.
+  /// The default loops access() once per block.
+  virtual void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode);
+
+ private:
+  std::int64_t block_words_;
+  std::int32_t block_shift_;  // log2(block_words), or -1 if not a power of two
 };
 
 /// Fully associative LRU with write-back/write-allocate.
+///
+/// Replacement state is an intrusive doubly-linked list threaded through a
+/// flat node slab, indexed by an open-addressing (linear probing, backward-
+/// shift deletion) hash table. The table is sized for the full capacity at
+/// construction for ordinary geometries, so the steady state performs zero
+/// heap allocations; absurdly large capacities start small and double
+/// geometrically, which is still allocation-free once the working set
+/// stabilizes.
 class LruCache final : public CacheSim {
  public:
   explicit LruCache(const CacheConfig& config);
@@ -56,22 +110,60 @@ class LruCache final : public CacheSim {
   const CacheStats& stats() const override { return stats_; }
   const CacheConfig& config() const override { return config_; }
 
-  /// Blocks currently resident (for tests).
-  std::int64_t resident_blocks() const {
-    return static_cast<std::int64_t>(lru_.size());
+  /// Touches one whole block (one simulated access); returns true on a hit.
+  /// Non-virtual hot path used by the bulk API and HierarchyCache.
+  bool access_block(BlockId block, AccessMode mode) {
+    CCS_EXPECTS(block >= 0, "negative block id");
+    ++stats_.accesses;
+    const bool hit = touch_block(block, mode == AccessMode::kWrite);
+    hit ? ++stats_.hits : ++stats_.misses;
+    return hit;
   }
 
+  /// Blocks currently resident (for tests).
+  std::int64_t resident_blocks() const { return size_; }
+
+ protected:
+  void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override;
+
  private:
-  struct Line {
+  static constexpr std::int32_t kNil = -1;
+
+  /// One block's replacement state. slab_[0] is a sentinel that closes the
+  /// recency list into a circle (sentinel.next = MRU, sentinel.prev = LRU),
+  /// so relinking needs no nil/head/tail branches. Live nodes are exactly
+  /// slab_[1 .. size_].
+  struct Node {
     BlockId block;
+    std::int32_t prev;
+    std::int32_t next;
     bool dirty;
   };
+
+  std::size_t home_slot(BlockId block) const {
+    // Fibonacci hashing: multiply spreads nearby block ids, the top bits
+    // index the power-of-two table.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(block) * 0x9e3779b97f4a7c15ULL) >> table_shift_);
+  }
+
+  /// Hit/miss/eviction core; updates everything except the accesses/hits/
+  /// misses counters (callers batch those so span loops are not serialized
+  /// on read-modify-write chains). Returns true on a hit.
+  bool touch_block(BlockId block, bool write);
+  void move_to_front(std::int32_t idx);
+  std::size_t find_slot(BlockId block) const;
+  void erase_slot(std::size_t slot);
+  void grow_table();
 
   CacheConfig config_;
   std::int64_t capacity_blocks_;
   CacheStats stats_;
-  std::list<Line> lru_;  // front = most recently used
-  std::unordered_map<BlockId, std::list<Line>::iterator> map_;
+  std::vector<Node> slab_;
+  std::vector<std::int32_t> table_;  // node index or kNil
+  std::size_t table_mask_ = 0;
+  std::int32_t table_shift_ = 64;    // 64 - log2(table size)
+  std::int64_t size_ = 0;
 };
 
 /// k-way set-associative LRU. `ways == 1` gives a direct-mapped cache.
@@ -90,6 +182,9 @@ class SetAssociativeCache final : public CacheSim {
   std::int32_t ways() const noexcept { return ways_; }
   std::int64_t sets() const noexcept { return num_sets_; }
 
+ protected:
+  void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override;
+
  private:
   struct Way {
     BlockId block = -1;
@@ -101,6 +196,10 @@ class SetAssociativeCache final : public CacheSim {
   std::size_t set_index(BlockId block) const {
     return static_cast<std::size_t>(block & (num_sets_ - 1));
   }
+
+  /// Hit/miss/eviction core; returns true on a hit. Callers batch the
+  /// accesses/hits/misses counters.
+  bool touch_block(BlockId block, bool write);
 
   CacheConfig config_;
   std::int32_t ways_;

@@ -6,7 +6,7 @@ namespace ccs::iomodel {
 
 HierarchyCache::HierarchyCache(std::vector<std::int64_t> level_words,
                                std::int64_t block_words)
-    : block_words_(block_words) {
+    : CacheSim(block_words) {
   CCS_EXPECTS(!level_words.empty(), "hierarchy needs at least one level");
   std::int64_t prev = 0;
   for (const std::int64_t words : level_words) {
@@ -17,14 +17,12 @@ HierarchyCache::HierarchyCache(std::vector<std::int64_t> level_words,
 }
 
 void HierarchyCache::access(Addr addr, AccessMode mode) {
-  // Probe downward until a level hits; every probed level installs the
-  // block (LruCache::access does exactly that on a miss), giving an
-  // inclusive hierarchy. Stop after the first level that already held it.
-  for (auto& level : levels_) {
-    const std::int64_t misses_before = level->stats().misses;
-    level->access(addr, mode);
-    if (level->stats().misses == misses_before) return;  // hit here
-  }
+  CCS_EXPECTS(addr >= 0, "negative address");
+  probe_block(block_of(addr), mode);
+}
+
+void HierarchyCache::do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) {
+  for (BlockId b = first, e = first + count; b != e; ++b) probe_block(b, mode);
 }
 
 void HierarchyCache::flush() {

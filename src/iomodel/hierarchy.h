@@ -8,6 +8,10 @@
 // Per-level stats expose where the partitioned scheduler's savings land —
 // experiment E13 shows partitioning built for the L2 size removes L2/memory
 // traffic while leaving L1 behaviour unchanged.
+//
+// Probing goes through LruCache::access_block — the non-virtual per-block
+// fast path — and the bulk override walks a span one block at a time so a
+// resident run stays inside L1's hit path.
 #pragma once
 
 #include <memory>
@@ -43,8 +47,18 @@ class HierarchyCache final : public CacheSim {
   /// Capacity of one level, in words.
   std::int64_t level_words(std::size_t level) const;
 
+ protected:
+  void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override;
+
  private:
-  std::int64_t block_words_;
+  /// Probes levels downward until one hits; every probed level installs the
+  /// block, giving an inclusive hierarchy.
+  void probe_block(BlockId block, AccessMode mode) {
+    for (auto& level : levels_) {
+      if (level->access_block(block, mode)) return;
+    }
+  }
+
   std::vector<std::unique_ptr<LruCache>> levels_;
 };
 

@@ -1,6 +1,10 @@
 // Access-trace recording: a CacheSim decorator that forwards to an inner
 // cache while appending every touched address to a trace. Feeds OPT
 // comparisons and debugging.
+//
+// Bulk accesses record one address per touched block (the block's first
+// word); to_block_trace() maps either form to the same block trace, so OPT
+// comparisons are unaffected by which API produced the recording.
 #pragma once
 
 #include <vector>
@@ -13,7 +17,8 @@ namespace ccs::iomodel {
 class RecordingCache final : public CacheSim {
  public:
   /// Does not own `inner`; it must outlive this object.
-  explicit RecordingCache(CacheSim& inner) : inner_(&inner) {}
+  explicit RecordingCache(CacheSim& inner)
+      : CacheSim(inner.config().block_words), inner_(&inner) {}
 
   void access(Addr addr, AccessMode mode) override {
     trace_.push_back(addr);
@@ -26,6 +31,13 @@ class RecordingCache final : public CacheSim {
 
   const std::vector<Addr>& trace() const noexcept { return trace_; }
   void clear_trace() { trace_.clear(); }
+
+ protected:
+  void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override {
+    const std::int64_t block = block_words();
+    for (BlockId b = first, e = first + count; b != e; ++b) trace_.push_back(b * block);
+    inner_->access_blocks(first, count, mode);
+  }
 
  private:
   CacheSim* inner_;

@@ -19,7 +19,9 @@ void Channel::push(std::int64_t count, iomodel::CacheSim& cache) {
     throw ScheduleError("channel overflow: pushing " + std::to_string(count) + " into " +
                         std::to_string(space()) + " free slots");
   }
-  touch((head_ + size_) % capacity_, count, cache, iomodel::AccessMode::kWrite);
+  std::int64_t offset = head_ + size_;
+  if (offset >= capacity_) offset -= capacity_;
+  touch(offset, count, cache, iomodel::AccessMode::kWrite);
   size_ += count;
 }
 
@@ -30,25 +32,18 @@ void Channel::pop(std::int64_t count, iomodel::CacheSim& cache) {
                         std::to_string(size_) + " tokens");
   }
   touch(head_, count, cache, iomodel::AccessMode::kRead);
-  head_ = (head_ + count) % capacity_;
+  head_ += count;
+  if (head_ >= capacity_) head_ -= capacity_;
   size_ -= count;
 }
 
 void Channel::touch(std::int64_t offset, std::int64_t count, iomodel::CacheSim& cache,
                     iomodel::AccessMode mode) const {
-  const std::int64_t block = cache.config().block_words;
-  std::int64_t remaining = count;
-  std::int64_t pos = offset;
-  while (remaining > 0) {
-    const std::int64_t run = std::min(remaining, capacity_ - pos);  // until wrap
-    const iomodel::Addr first = region_.base + pos;
-    const iomodel::Addr last = first + run - 1;
-    for (iomodel::BlockId b = first / block; b <= last / block; ++b) {
-      cache.access(std::max(first, b * block), mode);
-    }
-    remaining -= run;
-    pos = (pos + run) % capacity_;
-  }
+  // A ring span wraps at most once (count <= capacity), so the whole
+  // operation is at most two bulk cache transactions.
+  const std::int64_t run = std::min(count, capacity_ - offset);
+  if (run > 0) cache.access_span(region_.base + offset, run, mode);
+  if (count > run) cache.access_span(region_.base, count - run, mode);
 }
 
 }  // namespace ccs::runtime

@@ -40,8 +40,9 @@ class Channel {
   }
 
  private:
-  /// Touches every block overlapping [offset, offset+count) within the ring,
-  /// splitting the wrapped span into at most two contiguous pieces.
+  /// Touches every block overlapping [offset, offset+count) within the ring:
+  /// the wrapped span splits into at most two contiguous pieces, each issued
+  /// as one bulk CacheSim::access_span transaction.
   void touch(std::int64_t offset, std::int64_t count, iomodel::CacheSim& cache,
              iomodel::AccessMode mode) const;
 

@@ -26,9 +26,10 @@ Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
   CCS_EXPECTS(buffer_caps.size() == static_cast<std::size_t>(g.edge_count()),
               "one buffer capacity per edge required");
 
-  state_.reserve(static_cast<std::size_t>(g.node_count()));
+  std::vector<iomodel::Region> state;
+  state.reserve(static_cast<std::size_t>(g.node_count()));
   for (sdf::NodeId v = 0; v < g.node_count(); ++v) {
-    state_.push_back(layout_.allocate(g.node(v).state, "state:" + g.node(v).name));
+    state.push_back(layout_.allocate(g.node(v).state, "state:" + g.node(v).name));
     state_words_ += g.node(v).state;
   }
   channels_.reserve(static_cast<std::size_t>(g.edge_count()));
@@ -50,6 +51,7 @@ Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
   }
   fired_.assign(static_cast<std::size_t>(g.node_count()), 0);
   node_miss_base_.assign(static_cast<std::size_t>(g.node_count()), 0);
+  sizes_scratch_.assign(static_cast<std::size_t>(g.edge_count()), 0);
 
   const auto sources = g.sources();
   const auto sinks = g.sinks();
@@ -57,25 +59,66 @@ Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
   if (sinks.size() == 1) sink_ = sinks.front();
   external_in_ = iomodel::Region{kExternalInBase, 0};
   external_out_ = iomodel::Region{kExternalOutBase, 0};
+
+  // Precompute one firing plan per module so fire() never walks the graph.
+  plans_.resize(static_cast<std::size_t>(g.node_count()));
+  for (sdf::NodeId v = 0; v < g.node_count(); ++v) {
+    FiringPlan& plan = plans_[static_cast<std::size_t>(v)];
+    plan.in_begin = static_cast<std::int32_t>(in_ports_.size());
+    for (const sdf::EdgeId e : g.in_edges(v)) {
+      in_ports_.push_back(Port{e, g.edge(e).in_rate});
+    }
+    plan.in_end = static_cast<std::int32_t>(in_ports_.size());
+    plan.out_begin = static_cast<std::int32_t>(out_ports_.size());
+    for (const sdf::EdgeId e : g.out_edges(v)) {
+      out_ports_.push_back(Port{e, g.edge(e).out_rate});
+    }
+    plan.out_end = static_cast<std::int32_t>(out_ports_.size());
+    plan.state = state[static_cast<std::size_t>(v)];
+    plan.is_source = v == source_;
+    plan.is_sink = v == sink_;
+  }
 }
 
 bool Engine::can_fire(sdf::NodeId v) const {
-  for (const sdf::EdgeId e : graph_->in_edges(v)) {
-    if (tokens(e) < graph_->edge(e).in_rate) return false;
-  }
-  for (const sdf::EdgeId e : graph_->out_edges(v)) {
-    if (space(e) < graph_->edge(e).out_rate) return false;
-  }
-  return true;
+  CCS_EXPECTS(v >= 0 && v < graph_->node_count(), "node id out of range");
+  bool underflow = false;
+  const auto live = [this](std::int32_t ch) {
+    return channels_[static_cast<std::size_t>(ch)].size();
+  };
+  return first_blocked_port(v, live, underflow) == nullptr;
 }
 
-void Engine::touch_state(sdf::NodeId v) {
-  const iomodel::Region& region = state_[static_cast<std::size_t>(v)];
-  const std::int64_t block = cache_->config().block_words;
-  // State regions are block-aligned; touching the first word of each block
-  // yields the same misses and recency order as scanning every word.
-  for (iomodel::Addr a = region.base; a < region.end(); a += block) {
-    cache_->access(a, iomodel::AccessMode::kRead);
+void Engine::throw_blocked(sdf::NodeId v, const Port& p, bool underflow) const {
+  throw ScheduleError("firing '" + graph_->node(v).name + "' would " +
+                      (underflow ? "underflow" : "overflow") + " channel " +
+                      std::to_string(p.channel));
+}
+
+void Engine::validate_sequence(std::span<const sdf::NodeId> firings) {
+  // Token-count replay: pure integer arithmetic, no cache traffic. Proves
+  // the whole sequence feasible so the execution loop can skip per-firing
+  // re-validation; throws the same errors fire() would, before any firing
+  // has executed.
+  for (std::size_t e = 0; e < channels_.size(); ++e) sizes_scratch_[e] = channels_[e].size();
+  for (const sdf::NodeId v : firings) {
+    CCS_EXPECTS(v >= 0 && v < graph_->node_count(), "node id out of range");
+    bool underflow = false;
+    const auto replayed = [this](std::int32_t ch) {
+      return sizes_scratch_[static_cast<std::size_t>(ch)];
+    };
+    if (const Port* p = first_blocked_port(v, replayed, underflow)) {
+      throw_blocked(v, *p, underflow);
+    }
+    const FiringPlan& plan = plans_[static_cast<std::size_t>(v)];
+    for (std::int32_t i = plan.in_begin; i < plan.in_end; ++i) {
+      const Port& p = in_ports_[static_cast<std::size_t>(i)];
+      sizes_scratch_[static_cast<std::size_t>(p.channel)] -= p.rate;
+    }
+    for (std::int32_t i = plan.out_begin; i < plan.out_end; ++i) {
+      const Port& p = out_ports_[static_cast<std::size_t>(i)];
+      sizes_scratch_[static_cast<std::size_t>(p.channel)] += p.rate;
+    }
   }
 }
 
@@ -83,56 +126,65 @@ void Engine::fire(sdf::NodeId v) {
   CCS_EXPECTS(v >= 0 && v < graph_->node_count(), "node id out of range");
   // Validate both directions before any memory traffic so a throwing fire
   // leaves token counts unchanged.
-  for (const sdf::EdgeId e : graph_->in_edges(v)) {
-    if (tokens(e) < graph_->edge(e).in_rate) {
-      throw ScheduleError("firing '" + graph_->node(v).name + "' would underflow channel " +
-                          std::to_string(e));
-    }
+  bool underflow = false;
+  const auto live = [this](std::int32_t ch) {
+    return channels_[static_cast<std::size_t>(ch)].size();
+  };
+  if (const Port* p = first_blocked_port(v, live, underflow)) {
+    throw_blocked(v, *p, underflow);
   }
-  for (const sdf::EdgeId e : graph_->out_edges(v)) {
-    if (space(e) < graph_->edge(e).out_rate) {
-      throw ScheduleError("firing '" + graph_->node(v).name + "' would overflow channel " +
-                          std::to_string(e));
-    }
-  }
+  fire_unchecked(v);
+}
 
-  const std::int64_t miss_before = cache_->stats().misses;
+void Engine::fire_unchecked(sdf::NodeId v) {
+  const FiringPlan& plan = plans_[static_cast<std::size_t>(v)];
+  // One virtual stats() call per firing: the reference tracks the live
+  // counters, so the per-phase snapshots below are plain loads.
+  const iomodel::CacheStats& stats = cache_->stats();
+  const std::int64_t miss_before = stats.misses;
 
   // Consume inputs, then execute (scan state), then produce outputs --
   // the natural data flow of a filter body. Phase boundaries snapshot the
   // miss counter so RunResult can break misses down by cause.
-  for (const sdf::EdgeId e : graph_->in_edges(v)) {
-    channels_[static_cast<std::size_t>(e)].pop(graph_->edge(e).in_rate, *cache_);
+  for (std::int32_t i = plan.in_begin; i < plan.in_end; ++i) {
+    const Port& p = in_ports_[static_cast<std::size_t>(i)];
+    channels_[static_cast<std::size_t>(p.channel)].pop(p.rate, *cache_);
   }
-  const std::int64_t after_pops = cache_->stats().misses;
-  if (options_.model_external_io && v == source_) {
+  const std::int64_t after_pops = stats.misses;
+  if (options_.model_external_io && plan.is_source) {
     cache_->access(kExternalInBase + external_in_cursor_++, iomodel::AccessMode::kRead);
   }
-  const std::int64_t after_in = cache_->stats().misses;
-  touch_state(v);
-  const std::int64_t after_state = cache_->stats().misses;
-  for (const sdf::EdgeId e : graph_->out_edges(v)) {
-    channels_[static_cast<std::size_t>(e)].push(graph_->edge(e).out_rate, *cache_);
+  const std::int64_t after_in = stats.misses;
+  // State regions are block-aligned, so the span touches exactly
+  // ceil(state/B) blocks in one bulk transaction.
+  if (plan.state.words > 0) {
+    cache_->access_span(plan.state.base, plan.state.words, iomodel::AccessMode::kRead);
   }
-  const std::int64_t after_pushes = cache_->stats().misses;
-  if (options_.model_external_io && v == sink_) {
+  const std::int64_t after_state = stats.misses;
+  for (std::int32_t i = plan.out_begin; i < plan.out_end; ++i) {
+    const Port& p = out_ports_[static_cast<std::size_t>(i)];
+    channels_[static_cast<std::size_t>(p.channel)].push(p.rate, *cache_);
+  }
+  const std::int64_t after_pushes = stats.misses;
+  if (options_.model_external_io && plan.is_sink) {
     cache_->access(kExternalOutBase + external_out_cursor_++, iomodel::AccessMode::kWrite);
   }
   channel_misses_ += (after_pops - miss_before) + (after_pushes - after_state);
-  io_misses_ += (after_in - after_pops) + (cache_->stats().misses - after_pushes);
+  io_misses_ += (after_in - after_pops) + (stats.misses - after_pushes);
   state_misses_ += after_state - after_in;
 
   ++fired_[static_cast<std::size_t>(v)];
   ++total_firings_;
-  if (v == source_) ++source_firings_;
-  if (v == sink_) ++sink_firings_;
+  if (plan.is_source) ++source_firings_;
+  if (plan.is_sink) ++sink_firings_;
   if (options_.per_node_attribution) {
-    node_miss_base_[static_cast<std::size_t>(v)] += cache_->stats().misses - miss_before;
+    node_miss_base_[static_cast<std::size_t>(v)] += stats.misses - miss_before;
   }
 }
 
 RunResult Engine::run(std::span<const sdf::NodeId> firings) {
-  for (const sdf::NodeId v : firings) fire(v);
+  validate_sequence(firings);
+  for (const sdf::NodeId v : firings) fire_unchecked(v);
 
   RunResult result;
   const iomodel::CacheStats& now = cache_->stats();

@@ -12,6 +12,16 @@
 // (the paper's "designated channels" into and out of the application);
 // these sequential streams cost ~1/B misses per word for *every* scheduler
 // and never interfere with partitioning decisions.
+//
+// Hot path: construction precomputes one FiringPlan per module (flattened
+// input/output port spans, the state region, source/sink flags), so a firing
+// never re-derives edge lists or rates from the graph. run() validates the
+// whole firing sequence once with a token-count replay (pure integer
+// arithmetic, no memory traffic) and then executes it through the unchecked
+// fast path; an infeasible sequence throws the same ScheduleError a
+// per-firing check would, before any firing executes. State scans and
+// channel ring operations are issued as bulk block-granular cache
+// transactions (at most two per channel operation).
 #pragma once
 
 #include <cstdint>
@@ -56,11 +66,14 @@ class Engine {
   /// True iff every input has enough tokens and every output enough space.
   bool can_fire(sdf::NodeId v) const;
 
-  /// Executes one firing. Throws ScheduleError if v cannot fire.
+  /// Executes one firing. Throws ScheduleError (before any memory traffic
+  /// or token movement) if v cannot fire.
   void fire(sdf::NodeId v);
 
   /// Fires the sequence in order, returning the counters accumulated since
-  /// the previous run (or construction).
+  /// the previous run (or construction). The whole sequence is validated
+  /// up front; an infeasible sequence throws ScheduleError naming the first
+  /// offending firing, with no tokens moved and no memory traffic.
   RunResult run(std::span<const sdf::NodeId> firings);
 
   /// Tokens currently queued on edge e.
@@ -90,15 +103,69 @@ class Engine {
   std::int64_t state_footprint() const noexcept { return state_words_; }
 
  private:
-  void touch_state(sdf::NodeId v);
+  /// One side of a module's channel connections, flattened for the hot
+  /// loop. `channel` doubles as the EdgeId (channels_ is indexed by edge).
+  struct Port {
+    std::int32_t channel;  ///< Index into channels_ == sdf::EdgeId.
+    std::int64_t rate;     ///< Tokens moved per firing.
+  };
+
+  /// Everything a firing needs, precomputed at construction. Ports live in
+  /// the shared in_ports_/out_ports_ arrays; each plan owns a span of them.
+  struct FiringPlan {
+    std::int32_t in_begin = 0, in_end = 0;    ///< [begin, end) into in_ports_.
+    std::int32_t out_begin = 0, out_end = 0;  ///< [begin, end) into out_ports_.
+    iomodel::Region state;
+    bool is_source = false;
+    bool is_sink = false;
+  };
+
+  /// Shared feasibility scan: returns the first port of v that cannot fire
+  /// given per-channel token counts `size_of(channel)`, or nullptr if all
+  /// can; sets `underflow` to distinguish the failure direction. The single
+  /// home of the firing-feasibility rule — can_fire, fire, and
+  /// validate_sequence all go through it.
+  template <typename SizeOf>
+  const Port* first_blocked_port(sdf::NodeId v, SizeOf&& size_of, bool& underflow) const {
+    const FiringPlan& plan = plans_[static_cast<std::size_t>(v)];
+    for (std::int32_t i = plan.in_begin; i < plan.in_end; ++i) {
+      const Port& p = in_ports_[static_cast<std::size_t>(i)];
+      if (size_of(p.channel) < p.rate) {
+        underflow = true;
+        return &p;
+      }
+    }
+    for (std::int32_t i = plan.out_begin; i < plan.out_end; ++i) {
+      const Port& p = out_ports_[static_cast<std::size_t>(i)];
+      if (channels_[static_cast<std::size_t>(p.channel)].capacity() - size_of(p.channel) <
+          p.rate) {
+        underflow = false;
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Builds the ScheduleError for a blocked port found by first_blocked_port.
+  [[noreturn]] void throw_blocked(sdf::NodeId v, const Port& p, bool underflow) const;
+
+  /// Replays `firings` against token counters only (no cache traffic),
+  /// throwing on the first infeasible firing.
+  void validate_sequence(std::span<const sdf::NodeId> firings);
+
+  /// Executes one pre-validated firing.
+  void fire_unchecked(sdf::NodeId v);
 
   const sdf::SdfGraph* graph_;
   iomodel::CacheSim* cache_;
   EngineOptions options_;
   iomodel::MemoryLayout layout_;
-  std::vector<iomodel::Region> state_;  // per node
-  std::vector<Channel> channels_;       // per edge
-  std::vector<std::int64_t> fired_;     // per node, lifetime
+  std::vector<Channel> channels_;     // per edge
+  std::vector<FiringPlan> plans_;     // per node
+  std::vector<Port> in_ports_;        // all input ports, grouped by node
+  std::vector<Port> out_ports_;       // all output ports, grouped by node
+  std::vector<std::int64_t> fired_;   // per node, lifetime
+  std::vector<std::int64_t> sizes_scratch_;  // per edge, for validate_sequence
   std::int64_t state_words_ = 0;
 
   sdf::NodeId source_ = sdf::kInvalidNode;
