@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     runtime::RunResult total;
     const auto rounds = schedule::periods_for_outputs(plan.schedule, outputs);
     for (std::int64_t i = 0; i < rounds; ++i) {
-      total = core::merge(std::move(total), engine.run(plan.schedule.period));
+      total += engine.run(plan.schedule.period);
     }
     t.add_row({aligned ? "block-aligned" : "packed (default)",
                Table::num(total.misses_per_output(), 3), Table::num(total.state_misses),

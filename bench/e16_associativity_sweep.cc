@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     runtime::RunResult total;
     const auto rounds = schedule::periods_for_outputs(s, outputs);
     for (std::int64_t i = 0; i < rounds; ++i) {
-      total = core::merge(std::move(total), engine.run(s.period));
+      total += engine.run(s.period);
     }
     return total;
   };

@@ -1,19 +1,19 @@
-// Beamformer (StreamIt-style): a two-level split-join dag, partitioned with
-// each of the dag partitioners and executed with the two-level scheduler.
+// Beamformer (StreamIt-style): a two-level split-join dag run through every
+// applicable registered partitioner in one Planner session.
 //
-//   $ ./beamformer [--channels=12] [--beams=4] [--cache-words=2048]
+//   $ ./beamformer [--channels=12] [--beams=4] [--cache-words=256]
 //
-// Demonstrates: dag partitioning (greedy / gain-aware / refined), partition
-// quality metrics (bandwidth, degree, component states), and how partition
-// quality translates into simulated cache misses (Corollary 9 in action).
+// Demonstrates: Planner::plan_all() (every applicable registry strategy on
+// one graph), partition quality metrics (bandwidth, degree, component
+// states), and how partition quality translates into simulated cache misses
+// (Corollary 9 in action).
 
 #include <iostream>
 
+#include "core/planner.h"
 #include "core/scheduler.h"
-#include "partition/dag_greedy.h"
-#include "partition/dag_refine.h"
-#include "schedule/naive.h"
-#include "schedule/partitioned.h"
+#include "schedule/registry.h"
+#include "sdf/gain.h"
 #include "util/args.h"
 #include "util/table.h"
 #include "workloads/streamit.h"
@@ -30,22 +30,15 @@ int main(int argc, char** argv) {
     const auto g = workloads::beamformer(static_cast<std::int32_t>(args.get_int("channels")),
                                          static_cast<std::int32_t>(args.get_int("beams")));
     const std::int64_t m = args.get_int("cache-words");
-    const std::int64_t bound = 3 * m;
     const std::int64_t outputs = args.get_int("outputs");
     std::cout << "Beamformer: " << g << "\n\n";
 
+    core::PlannerOptions opts;
+    opts.cache.capacity_words = m;
+    opts.cache.block_words = 8;
+    const core::Planner planner(g, opts);
     const sdf::GainMap gains(g);
-    struct Entry {
-      std::string name;
-      partition::Partition partition;
-    };
-    std::vector<Entry> entries;
-    entries.push_back({"dag-greedy", partition::dag_greedy_partition(g, bound)});
-    entries.push_back({"dag-greedy-gain", partition::dag_greedy_gain_partition(g, bound)});
-    partition::RefineOptions ropts;
-    ropts.state_bound = bound;
-    entries.push_back(
-        {"dag-refined", partition::refine_partition(g, entries[1].partition, ropts)});
+    const iomodel::CacheConfig sim{4 * m, 8};
 
     Table t("partition quality and measured misses (M=" + std::to_string(m) + ")");
     t.set_header({"partitioner", "components", "bandwidth", "max state", "max degree",
@@ -53,27 +46,34 @@ int main(int argc, char** argv) {
     t.set_align({Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight,
                  Align::kRight});
     {
-      const auto naive = schedule::naive_minimal_buffer_schedule(g);
-      const auto r = core::simulate(g, naive, iomodel::CacheConfig{4 * m, 8}, outputs);
+      const auto naive = schedule::Registry::global().build("naive", g, {m, 8});
+      const auto r = core::simulate(g, naive, sim, outputs);
       t.add_row({"(naive baseline)", "-", "-", "-", "-",
                  Table::num(r.misses_per_output(), 3)});
     }
-    for (const auto& entry : entries) {
-      const auto quality = partition::measure(g, gains, entry.partition);
-      schedule::PartitionedOptions sopts;
-      sopts.m = m;
-      const auto sched = schedule::partitioned_schedule(g, entry.partition, sopts);
-      const auto r = core::simulate(g, sched, iomodel::CacheConfig{4 * m, 8}, outputs);
-      t.add_row({entry.name, Table::num(static_cast<std::int64_t>(quality.num_components)),
+    // One session, every applicable registered strategy: the planner skips
+    // pipeline-only partitioners (this is a dag) and the exact DP (too many
+    // nodes) on its own.
+    core::Plan best;
+    double best_mpo = -1.0;
+    for (const auto& plan : planner.plan_all()) {
+      const auto quality = partition::measure(g, gains, plan.partition);
+      const auto r = core::simulate(g, plan.schedule, sim, outputs);
+      t.add_row({plan.partitioner_name,
+                 Table::num(static_cast<std::int64_t>(quality.num_components)),
                  quality.bandwidth.to_string(), Table::num(quality.max_state),
                  Table::num(static_cast<std::int64_t>(quality.max_degree)),
                  Table::num(r.misses_per_output(), 3)});
+      if (best_mpo < 0.0 || r.misses_per_output() < best_mpo) {
+        best_mpo = r.misses_per_output();
+        best = plan;
+      }
     }
     t.print(std::cout);
 
-    // Show the chosen (refined) partition's composition.
-    std::cout << "\nrefined partition components:\n";
-    const auto comps = entries[2].partition.components();
+    // Show the measured winner's composition.
+    std::cout << "\nbest partition (" << best.partitioner_name << ") components:\n";
+    const auto comps = best.partition.components();
     for (std::size_t c = 0; c < comps.size(); ++c) {
       std::cout << "  [" << c << "]";
       std::int64_t state = 0;

@@ -9,10 +9,10 @@
 
 #include <iostream>
 
-#include "core/scheduler.h"
+#include "core/planner.h"
 #include "iomodel/hierarchy.h"
 #include "runtime/engine.h"
-#include "schedule/naive.h"
+#include "schedule/registry.h"
 #include "schedule/serialize.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -36,14 +36,16 @@ int main(int argc, char** argv) {
     core::PlannerOptions opts;
     opts.cache.capacity_words = l2 / 4;  // partition to fit (a fraction of) L2
     opts.cache.block_words = 8;
-    const auto plan = core::plan(g, opts);
+    const core::Planner planner(g, opts);
+    const auto plan = planner.plan();
     std::cout << core::explain(g, plan) << "\n";
     if (args.get_flag("dump-schedule")) {
       schedule::write_schedule(g, plan.schedule, std::cout);
       return 0;
     }
 
-    const auto naive = schedule::naive_minimal_buffer_schedule(g);
+    const auto naive = schedule::Registry::global().build(
+        "naive", g, {opts.cache.capacity_words, opts.cache.block_words});
     Table t("DES on L1=" + std::to_string(l1) + " / L2=" + std::to_string(l2) +
             " (B=8, " + std::to_string(outputs) + " outputs)");
     t.set_header({"scheduler", "L1 misses", "mem transfers", "state", "channel", "io"});
@@ -55,7 +57,7 @@ int main(int argc, char** argv) {
       runtime::RunResult total;
       const auto rounds = schedule::periods_for_outputs(*s, outputs);
       for (std::int64_t i = 0; i < rounds; ++i) {
-        total = core::merge(std::move(total), engine.run(s->period));
+        total += engine.run(s->period);
       }
       t.add_row({s->name, Table::num(cache.level_stats(0).misses),
                  Table::num(cache.level_stats(1).misses), Table::num(total.state_misses),

@@ -1,17 +1,19 @@
 // FM radio frontend (StreamIt-style): a realistic multirate application run
-// through every scheduler in the library across a sweep of cache sizes.
+// through the planner and the registered baseline schedulers across a sweep
+// of cache sizes.
 //
 //   $ ./fm_radio [--bands=10] [--outputs=2048] [--csv]
 //
-// Demonstrates: workload library, baseline schedulers (naive / scaled),
-// the planner, per-module miss attribution, and CSV output for plotting.
+// Demonstrates: workload registry, baseline schedulers by name
+// (schedule::Registry), one Planner session reused per cache size,
+// per-module miss attribution, and CSV output for plotting.
 
 #include <algorithm>
 #include <iostream>
 
+#include "core/planner.h"
 #include "core/scheduler.h"
-#include "schedule/naive.h"
-#include "schedule/scaled.h"
+#include "schedule/registry.h"
 #include "util/args.h"
 #include "util/table.h"
 #include "workloads/streamit.h"
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
     const std::int64_t outputs = args.get_int("outputs");
     std::cout << "FMRadio: " << g << "\n\n";
 
+    auto& schedulers = schedule::Registry::global();
     Table t("misses/output vs cache size (B = 8 words)");
     t.set_header({"M (words)", "naive", "scaled", "partitioned", "naive/partitioned"});
     for (const std::int64_t m : {128, 256, 512, 1024}) {
@@ -35,11 +38,12 @@ int main(int argc, char** argv) {
       core::PlannerOptions opts;
       opts.cache.capacity_words = m;
       opts.cache.block_words = 8;
-      const auto plan = core::plan(g, opts);
+      const core::Planner planner(g, opts);
+      const auto plan = planner.plan();
       const iomodel::CacheConfig sim{4 * m, 8};
-      const auto r_naive =
-          core::simulate(g, schedule::naive_minimal_buffer_schedule(g), sim, outputs);
-      const auto r_scaled = core::simulate(g, schedule::scaled_schedule(g, m), sim, outputs);
+      const schedule::SchedulerContext ctx{m, 8};
+      const auto r_naive = core::simulate(g, schedulers.build("naive", g, ctx), sim, outputs);
+      const auto r_scaled = core::simulate(g, schedulers.build("scaled", g, ctx), sim, outputs);
       const auto r_part = core::simulate(g, plan.schedule, sim, outputs);
       t.add_row({Table::num(m), Table::num(r_naive.misses_per_output(), 3),
                  Table::num(r_scaled.misses_per_output(), 3),
@@ -51,10 +55,7 @@ int main(int argc, char** argv) {
 
     // Show where the misses land: per-module attribution under the naive
     // schedule at the smallest cache.
-    core::PlannerOptions opts;
-    opts.cache.capacity_words = 1024;
-    opts.cache.block_words = 8;
-    const auto naive = schedule::naive_minimal_buffer_schedule(g);
+    const auto naive = schedulers.build("naive", g, {1024, 8});
     const auto r = core::simulate(g, naive, iomodel::CacheConfig{1024, 8}, outputs);
     Table hot("hottest modules under naive scheduling (M=1024)");
     hot.set_header({"module", "misses"});

@@ -9,10 +9,9 @@
 
 #include <iostream>
 
+#include "core/planner.h"
 #include "core/scheduler.h"
-#include "partition/pipeline_dp.h"
 #include "schedule/dynamic.h"
-#include "schedule/partitioned.h"
 #include "util/args.h"
 #include "util/table.h"
 #include "workloads/pipelines.h"
@@ -31,15 +30,17 @@ int main(int argc, char** argv) {
     const std::int64_t m = args.get_int("cache-words");
     const std::int64_t outputs = args.get_int("outputs");
 
-    const auto dp = partition::pipeline_optimal_partition(g, 3 * m);
+    core::PlannerOptions opts;
+    opts.cache.capacity_words = m;
+    opts.cache.block_words = 8;
+    const core::Planner planner(g, opts);
+    const auto plan = planner.plan("pipeline-dp");
     std::cout << "pipeline: " << g << "\n"
-              << "optimal partition: " << dp.partition.num_components
-              << " segments, bandwidth " << dp.bandwidth << "\n\n";
+              << "optimal partition: " << plan.partition.num_components
+              << " segments, bandwidth " << plan.partition_bandwidth << "\n\n";
 
-    schedule::PartitionedOptions sopts;
-    sopts.m = m;
-    const auto batch = schedule::partitioned_schedule(g, dp.partition, sopts);
-    const auto dynamic = schedule::dynamic_pipeline_schedule(g, dp.partition, m, outputs);
+    const auto& batch = plan.schedule;
+    const auto dynamic = schedule::dynamic_pipeline_schedule(g, plan.partition, m, outputs);
 
     const iomodel::CacheConfig sim{4 * m, 8};
     const auto r_batch = core::simulate(g, batch, sim, outputs);

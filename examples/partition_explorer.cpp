@@ -1,10 +1,17 @@
 // Partition explorer: load a streaming graph from a text file (or generate a
-// random one), run every applicable partitioner, and print a quality report.
-// Useful for understanding what the partitioners do to *your* graph before
-// committing to a schedule.
+// random one) and run partitioners from the registry on it, printing a
+// quality report. Useful for understanding what the partitioners do to
+// *your* graph before committing to a schedule.
 //
 //   $ ./partition_explorer --file=app.sdf --cache-words=1024
 //   $ ./partition_explorer --random-nodes=24 --seed=7 --dump
+//   $ ./partition_explorer --partitioner=dag-refined        # just one
+//   $ ./partition_explorer --partitioner=help               # list keys
+//
+// The strategy set comes from partition::Registry: by default every
+// strategy applicable to the graph runs; --partitioner=<name> selects one
+// (any registered key, including custom strategies), and an unknown name
+// fails with the registry's list of valid keys.
 //
 // Graph file format (see src/sdf/serialize.h):
 //   node <name> state=<words>
@@ -13,14 +20,8 @@
 #include <fstream>
 #include <iostream>
 
-#include "partition/agglomerative.h"
-#include "partition/dag_anneal.h"
-#include "partition/dag_exact.h"
-#include "partition/dag_greedy.h"
-#include "partition/dag_refine.h"
 #include "partition/dot.h"
-#include "partition/pipeline_dp.h"
-#include "partition/pipeline_greedy.h"
+#include "partition/registry.h"
 #include "sdf/gain.h"
 #include "sdf/serialize.h"
 #include "sdf/validate.h"
@@ -31,16 +32,27 @@
 
 int main(int argc, char** argv) {
   using namespace ccs;
-  ArgParser args("partition_explorer", "run all partitioners on a graph and report quality");
+  ArgParser args("partition_explorer", "run registry partitioners on a graph and report quality");
   args.add_string("file", "", "graph file to load (empty: generate random)");
   args.add_int("random-nodes", 24, "node budget for the generated graph");
   args.add_int("seed", 1, "random generator seed");
   args.add_int("cache-words", 1024, "cache size M in words");
   args.add_double("c-bound", 3.0, "components hold at most c*M state");
+  args.add_string("partitioner", "",
+                  "registry key to run (empty: every applicable; 'help': list keys)");
   args.add_flag("dump", "print the graph in serialized form");
   args.add_string("dot", "", "write the best partition as Graphviz DOT to this file");
   try {
     if (!args.parse(argc, argv)) return 0;
+
+    auto& registry = partition::Registry::global();
+    if (args.get_string("partitioner") == "help") {
+      std::cout << "registered partitioners:\n";
+      for (const auto& key : registry.keys()) {
+        std::cout << "  " << key << "  -- " << registry.find(key).description << "\n";
+      }
+      return 0;
+    }
 
     sdf::SdfGraph g;
     if (const auto& path = args.get_string("file"); !path.empty()) {
@@ -61,50 +73,51 @@ int main(int argc, char** argv) {
     std::cout << "graph: " << g << "\n\n";
 
     const std::int64_t m = args.get_int("cache-words");
-    const auto bound =
+    partition::StrategyContext ctx;
+    ctx.cache_words = m;
+    ctx.state_bound =
         static_cast<std::int64_t>(args.get_double("c-bound") * static_cast<double>(m));
+    ctx.seed = static_cast<std::uint64_t>(args.get_int("seed"));
     const sdf::GainMap gains(g);
 
-    Table t("partitions at state bound " + std::to_string(bound) + " (M=" +
+    // One explicit key, or every strategy the registry deems applicable.
+    // Registry::build throws for unknown keys with the valid key list in
+    // the message, which is exactly what we want on stderr.
+    std::vector<std::string> names;
+    if (const auto& one = args.get_string("partitioner"); !one.empty()) {
+      names.push_back(one);
+    } else {
+      names = registry.applicable_keys(g, ctx);
+    }
+
+    Table t("partitions at state bound " + std::to_string(ctx.state_bound) + " (M=" +
             std::to_string(m) + ")");
     t.set_header({"partitioner", "components", "bandwidth", "max state", "well-ordered"});
     t.set_align({Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kRight});
-    auto report = [&](const std::string& name, const partition::Partition& p) {
+
+    partition::Partition best;
+    Rational best_bw;
+    bool have_best = false;
+    for (const auto& name : names) {
+      const auto p = registry.build(name, g, ctx);
       const auto q = partition::measure(g, gains, p);
       t.add_row({name, Table::num(static_cast<std::int64_t>(q.num_components)),
                  q.bandwidth.to_string(), Table::num(q.max_state),
                  q.well_ordered ? "yes" : "NO"});
-    };
-
-    if (g.is_pipeline()) {
-      report("pipeline-dp", partition::pipeline_optimal_partition(g, bound).partition);
-      report("pipeline-greedy", partition::pipeline_greedy_partition(g, m).partition);
-    }
-    const auto greedy = partition::dag_greedy_partition(g, bound);
-    report("dag-greedy", greedy);
-    const auto gain_aware = partition::dag_greedy_gain_partition(g, bound);
-    report("dag-greedy-gain", gain_aware);
-    partition::RefineOptions ropts;
-    ropts.state_bound = bound;
-    const auto refined = partition::refine_partition(g, gain_aware, ropts);
-    report("dag-refined", refined);
-    partition::AnnealOptions aopts;
-    aopts.state_bound = bound;
-    aopts.seed = static_cast<std::uint64_t>(args.get_int("seed"));
-    partition::Partition best = partition::anneal_partition(g, refined, aopts);
-    report("annealed", best);
-    report("agglomerative", partition::agglomerative_partition(g, bound));
-    partition::ExactOptions eopts;
-    eopts.state_bound = bound;
-    if (const auto exact = partition::dag_exact_partition(g, eopts); exact.has_value()) {
-      report("exact", exact->partition);
-      best = exact->partition;
-    } else {
-      std::cout << "(exact partitioner skipped: graph exceeds its budget)\n";
+      if (q.well_ordered && (!have_best || q.bandwidth < best_bw)) {
+        best = p;
+        best_bw = q.bandwidth;
+        have_best = true;
+      }
     }
     t.print(std::cout);
 
     if (const auto& dot_path = args.get_string("dot"); !dot_path.empty()) {
+      if (!have_best) {
+        std::cerr << "no well-ordered partition to export; skipping --dot=" << dot_path
+                  << "\n";
+        return 1;
+      }
       std::ofstream out(dot_path);
       partition::write_dot(g, best, out);
       std::cout << "\nwrote " << dot_path << " (render with: dot -Tsvg " << dot_path

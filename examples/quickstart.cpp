@@ -5,14 +5,16 @@
 //
 // This walks the full public API surface in ~60 lines:
 //   sdf::SdfGraph        -- describe the application
-//   core::plan           -- partition + schedule + predictions
-//   core::simulate       -- run on the simulated cache
-//   schedule::*          -- baseline schedulers for comparison
+//   core::Planner        -- session: validate once, partition + schedule +
+//                           predictions per call
+//   core::simulate       -- run any schedule on the simulated cache
+//   schedule::Registry   -- baseline schedulers by name
 
 #include <iostream>
 
+#include "core/planner.h"
 #include "core/scheduler.h"
-#include "schedule/naive.h"
+#include "schedule/registry.h"
 #include "util/args.h"
 #include "util/table.h"
 
@@ -41,13 +43,18 @@ int main(int argc, char** argv) {
     opts.cache.capacity_words = args.get_int("cache-words");
     opts.cache.block_words = args.get_int("block-words");
 
-    const core::Plan plan = core::plan(g, opts);
+    // The Planner validates the graph and cache geometry once at
+    // construction; plan() picks a partitioner ("auto" here: the pipeline
+    // DP) and builds the two-level schedule plus its cost prediction.
+    const core::Planner planner(g, opts);
+    const core::Plan plan = planner.plan();
     std::cout << core::explain(g, plan) << "\n";
 
     // Simulate on a constant-factor larger cache (Theorem 5's augmentation).
     const iomodel::CacheConfig sim{4 * opts.cache.capacity_words, opts.cache.block_words};
     const std::int64_t outputs = args.get_int("outputs");
-    const auto naive = schedule::naive_minimal_buffer_schedule(g);
+    const auto naive = schedule::Registry::global().build(
+        "naive", g, {opts.cache.capacity_words, opts.cache.block_words});
     const auto r_part = core::simulate(g, plan.schedule, sim, outputs);
     const auto r_naive = core::simulate(g, naive, sim, outputs);
 

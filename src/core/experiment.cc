@@ -1,0 +1,289 @@
+#include "core/experiment.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "iomodel/cache.h"
+#include "schedule/schedule.h"
+#include "util/error.h"
+
+namespace ccs::core {
+
+namespace {
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c));
+          out += hex.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(15) << v;
+  return os.str();
+}
+
+}  // namespace
+
+struct Experiment::Coordinate {
+  std::string workload;
+  iomodel::CacheConfig cache;
+  std::string strategy;
+  bool is_baseline = false;
+  std::int64_t t_multiplier = 1;
+};
+
+Experiment::Experiment(SweepSpec spec, const workloads::Registry* workload_registry,
+                       const partition::Registry* partitioner_registry,
+                       const schedule::Registry* scheduler_registry)
+    : spec_(std::move(spec)),
+      workloads_(workload_registry != nullptr ? workload_registry
+                                              : &workloads::Registry::global()),
+      partitioners_(partitioner_registry != nullptr ? partitioner_registry
+                                                    : &partition::Registry::global()),
+      schedulers_(scheduler_registry != nullptr ? scheduler_registry
+                                                : &schedule::Registry::global()) {}
+
+std::vector<Experiment::Coordinate> Experiment::enumerate() const {
+  std::vector<Coordinate> out;
+  const std::vector<std::int64_t> t_mults =
+      spec_.t_multipliers.empty() ? std::vector<std::int64_t>{1} : spec_.t_multipliers;
+  for (const std::string& workload : spec_.workloads) {
+    for (const iomodel::CacheConfig& cache : spec_.caches) {
+      for (const std::string& partitioner : spec_.partitioners) {
+        for (const std::int64_t t : t_mults) {
+          out.push_back({workload, cache, partitioner, /*is_baseline=*/false, t});
+        }
+      }
+      for (const std::string& baseline : spec_.baselines) {
+        out.push_back({workload, cache, baseline, /*is_baseline=*/true, 1});
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Experiment::cell_count() const { return enumerate().size(); }
+
+CellResult Experiment::run_cell(const Coordinate& at) const {
+  CellResult cell;
+  cell.workload = at.workload;
+  cell.cache = at.cache;
+  cell.strategy = at.strategy;
+  cell.is_baseline = at.is_baseline;
+  cell.t_multiplier = at.t_multiplier;
+  try {
+    const sdf::SdfGraph graph = workloads_->build(at.workload);
+
+    schedule::Schedule sched;
+    if (at.is_baseline) {
+      schedule::SchedulerContext ctx;
+      ctx.cache_words = at.cache.capacity_words;
+      ctx.block_words = at.cache.block_words;
+      sched = schedulers_->build(at.strategy, graph, ctx);
+      cell.resolved_strategy = at.strategy;
+    } else {
+      PlannerOptions opts;
+      opts.cache = at.cache;
+      opts.c_bound = spec_.c_bound;
+      opts.partitioner = at.strategy;
+      opts.t_multiplier = at.t_multiplier;
+      opts.exact_max_nodes = spec_.exact_max_nodes;
+      opts.seed = spec_.seed;
+      const Planner planner(graph, opts, partitioners_);
+      Plan plan = planner.plan();
+      cell.resolved_strategy = plan.partitioner_name;
+      cell.components = plan.partition.num_components;
+      cell.batch_t = plan.batch_t;
+      cell.bandwidth = plan.partition_bandwidth.to_double();
+      cell.predicted_misses_per_input = plan.predicted.misses_per_input;
+      sched = std::move(plan.schedule);
+    }
+    cell.schedule_name = sched.name;
+    cell.buffer_words = sched.total_buffer_words();
+
+    // Measure on the augmentation-factor cache (Theorem 5's regime). The
+    // cell owns its graph, engine, and cache: nothing here is shared with
+    // any other cell, which is what makes the sweep order- and
+    // thread-count-independent.
+    iomodel::CacheConfig sim = at.cache;
+    sim.capacity_words = std::max<std::int64_t>(
+        at.cache.block_words,
+        static_cast<std::int64_t>(std::llround(spec_.sim_capacity_factor *
+                                               static_cast<double>(at.cache.capacity_words))));
+    validate_cache_geometry(sim);
+
+    const std::int64_t rounds = schedule::periods_for_outputs(sched, spec_.target_outputs);
+    iomodel::LruCache cache(sim);
+    runtime::Engine engine(graph, sched.buffer_caps, cache, spec_.engine);
+    const auto measure = [&]() {
+      runtime::RunResult total;
+      for (std::int64_t r = 0; r < rounds; ++r) total += engine.run(sched.period);
+      return total;
+    };
+    cell.run = measure();
+    // Further repetitions reuse the constructed engine against a fresh cold
+    // cache (Engine::rebind_cache); every repetition must reproduce the
+    // first bit-for-bit or the cell is flagged.
+    for (std::int32_t rep = 1; rep < spec_.repetitions; ++rep) {
+      iomodel::LruCache fresh(sim);
+      engine.rebind_cache(fresh);
+      const runtime::RunResult again = measure();
+      if (again != cell.run) {
+        throw Error("repetition " + std::to_string(rep) +
+                    " diverged from the first measurement (nondeterministic strategy "
+                    "or runtime)");
+      }
+    }
+    cell.misses_per_input = cell.run.misses_per_input();
+    cell.misses_per_output = cell.run.misses_per_output();
+    cell.ok = true;
+  } catch (const std::exception& e) {
+    cell.ok = false;
+    cell.error = e.what();
+  }
+  return cell;
+}
+
+ExperimentResult Experiment::run(std::int32_t threads) const {
+  if (spec_.workloads.empty()) throw Error("sweep spec lists no workloads");
+  if (spec_.caches.empty()) throw Error("sweep spec lists no cache geometries");
+  if (spec_.partitioners.empty() && spec_.baselines.empty()) {
+    throw Error("sweep spec lists no partitioners and no baseline schedulers");
+  }
+  if (spec_.repetitions < 1) throw Error("sweep spec needs repetitions >= 1");
+
+  const std::vector<Coordinate> grid = enumerate();
+  ExperimentResult result;
+  result.threads = std::max<std::int32_t>(1, threads);
+  result.cells.resize(grid.size());
+
+  const auto started = std::chrono::steady_clock::now();
+  // Work-stealing by atomic index: workers claim cells dynamically but write
+  // only their own pre-sized slot, so the output is in grid order and
+  // identical for any pool size.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= grid.size()) break;
+      result.cells[i] = run_cell(grid[i]);
+    }
+  };
+  if (result.threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(result.threads));
+    for (std::int32_t t = 0; t < result.threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  return result;
+}
+
+std::size_t ExperimentResult::failed_cells() const {
+  std::size_t n = 0;
+  for (const CellResult& c : cells) {
+    if (!c.ok) ++n;
+  }
+  return n;
+}
+
+void ExperimentResult::write_csv(std::ostream& os) const {
+  os << "workload,cache_words,block_words,strategy,kind,t_multiplier,ok,resolved,"
+        "components,batch_t,bandwidth,predicted_misses_per_input,schedule,buffer_words,"
+        "accesses,misses,writebacks,firings,source_firings,sink_firings,state_misses,"
+        "channel_misses,io_misses,misses_per_input,misses_per_output,error\n";
+  for (const CellResult& c : cells) {
+    os << csv_escape(c.workload) << ',' << c.cache.capacity_words << ','
+       << c.cache.block_words << ',' << csv_escape(c.strategy) << ','
+       << (c.is_baseline ? "baseline" : "partitioned") << ',' << c.t_multiplier << ','
+       << (c.ok ? 1 : 0) << ',' << csv_escape(c.resolved_strategy) << ',' << c.components
+       << ',' << c.batch_t << ',' << fmt_double(c.bandwidth) << ','
+       << fmt_double(c.predicted_misses_per_input) << ',' << csv_escape(c.schedule_name)
+       << ',' << c.buffer_words << ',' << c.run.cache.accesses << ',' << c.run.cache.misses
+       << ',' << c.run.cache.writebacks << ',' << c.run.firings << ','
+       << c.run.source_firings << ',' << c.run.sink_firings << ',' << c.run.state_misses
+       << ',' << c.run.channel_misses << ',' << c.run.io_misses << ','
+       << fmt_double(c.misses_per_input) << ',' << fmt_double(c.misses_per_output) << ','
+       << csv_escape(c.error) << '\n';
+  }
+}
+
+void ExperimentResult::write_json(std::ostream& os) const {
+  os << "{\n  \"threads\": " << threads << ",\n  \"wall_seconds\": "
+     << fmt_double(wall_seconds) << ",\n  \"cells\": [";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"workload\": \"" << json_escape(c.workload) << "\""
+       << ", \"cache_words\": " << c.cache.capacity_words
+       << ", \"block_words\": " << c.cache.block_words
+       << ", \"strategy\": \"" << json_escape(c.strategy) << "\""
+       << ", \"kind\": \"" << (c.is_baseline ? "baseline" : "partitioned") << "\""
+       << ", \"t_multiplier\": " << c.t_multiplier
+       << ", \"ok\": " << (c.ok ? "true" : "false");
+    if (c.ok) {
+      os << ", \"resolved\": \"" << json_escape(c.resolved_strategy) << "\""
+         << ", \"components\": " << c.components << ", \"batch_t\": " << c.batch_t
+         << ", \"bandwidth\": " << fmt_double(c.bandwidth)
+         << ", \"predicted_misses_per_input\": " << fmt_double(c.predicted_misses_per_input)
+         << ", \"schedule\": \"" << json_escape(c.schedule_name) << "\""
+         << ", \"buffer_words\": " << c.buffer_words
+         << ", \"accesses\": " << c.run.cache.accesses
+         << ", \"misses\": " << c.run.cache.misses
+         << ", \"writebacks\": " << c.run.cache.writebacks
+         << ", \"firings\": " << c.run.firings
+         << ", \"source_firings\": " << c.run.source_firings
+         << ", \"sink_firings\": " << c.run.sink_firings
+         << ", \"state_misses\": " << c.run.state_misses
+         << ", \"channel_misses\": " << c.run.channel_misses
+         << ", \"io_misses\": " << c.run.io_misses
+         << ", \"misses_per_input\": " << fmt_double(c.misses_per_input)
+         << ", \"misses_per_output\": " << fmt_double(c.misses_per_output);
+    } else {
+      os << ", \"error\": \"" << json_escape(c.error) << "\"";
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+}  // namespace ccs::core

@@ -1,0 +1,151 @@
+// core::Experiment -- the declarative scenario-sweep driver.
+//
+// The paper's results are sweeps: miss rates across cache sizes,
+// partitioners, and benchmark graphs (Figs. 6-9). An Experiment takes that
+// grid as data -- workloads x cache geometries x partitioners x batch
+// multipliers, all addressed through the registries -- and executes every
+// cell on a thread pool, producing a structured result with CSV/JSON
+// emission that reproduces a paper table in one call.
+//
+//   core::SweepSpec spec;
+//   spec.workloads = {"FMRadio", "DES"};
+//   spec.caches = {{256, 8}, {512, 8}, {1024, 8}};
+//   spec.partitioners = {"auto", "dag-greedy", "dag-refined", "agglomerative"};
+//   spec.baselines = {"naive", "scaled"};
+//   core::ExperimentResult result = core::Experiment(spec).run(/*threads=*/8);
+//   result.write_csv(std::cout);
+//
+// Determinism: cells are enumerated in a fixed grid order and every cell is
+// hermetic -- its own graph instance, planner, engine, and cache; no shared
+// mutable state -- so the counters are bit-identical no matter how many
+// threads execute the sweep (a property the tests assert). A cell that
+// fails (unknown key, inapplicable strategy, no bounded partition) records
+// its error string instead of aborting the sweep.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "iomodel/types.h"
+#include "partition/registry.h"
+#include "runtime/engine.h"
+#include "runtime/run_result.h"
+#include "schedule/registry.h"
+#include "workloads/registry.h"
+
+namespace ccs::core {
+
+/// The sweep grid, by registry keys. Cells are enumerated workload-major:
+/// for each workload, for each cache, every partitioner at every
+/// t_multiplier, then every baseline scheduler (baselines have no batch
+/// parameter, so they run once per cache).
+struct SweepSpec {
+  std::vector<std::string> workloads;      ///< workloads::Registry keys.
+  std::vector<iomodel::CacheConfig> caches;
+  std::vector<std::string> partitioners;   ///< partition::Registry keys or "auto".
+  std::vector<std::string> baselines;      ///< schedule::Registry keys (optional).
+  std::vector<std::int64_t> t_multipliers{1};
+
+  double c_bound = 3.0;                ///< Planner state bound (c * M).
+  std::int32_t exact_max_nodes = 20;   ///< Gate for "auto"/plan_all exact.
+  std::uint64_t seed = 1;              ///< For randomized partitioners.
+
+  /// Simulate on sim_capacity_factor * M (the paper's constant-factor
+  /// memory augmentation; Theorem 5 regime). 1.0 measures at M itself.
+  double sim_capacity_factor = 4.0;
+
+  std::int64_t target_outputs = 1024;  ///< Sink firings per measurement.
+
+  /// Measurements per cell (>= 1). Repetitions reuse the cell's engine via
+  /// Engine::rebind_cache against a fresh cache; all repetitions must agree
+  /// counter-for-counter or the cell is marked failed (a tripwire for
+  /// non-determinism in strategies or the runtime).
+  std::int32_t repetitions = 1;
+
+  runtime::EngineOptions engine;       ///< Per-cell engine knobs.
+};
+
+/// One evaluated grid cell. Coordinate fields are always filled; result
+/// fields only when ok.
+struct CellResult {
+  // -- coordinates --
+  std::string workload;
+  iomodel::CacheConfig cache;
+  std::string strategy;             ///< Partitioner key or baseline scheduler key.
+  bool is_baseline = false;         ///< True: strategy names a baseline scheduler.
+  std::int64_t t_multiplier = 1;    ///< Always 1 for baselines.
+
+  // -- outcome --
+  bool ok = false;
+  std::string error;                ///< Why the cell failed (ok == false).
+
+  // -- plan statistics (partitioner cells only) --
+  std::string resolved_strategy;    ///< "auto" resolved to this key.
+  std::int32_t components = 0;
+  std::int64_t batch_t = 0;
+  double bandwidth = 0.0;           ///< Partition bandwidth (as double).
+  double predicted_misses_per_input = 0.0;
+
+  // -- measurement --
+  std::string schedule_name;
+  std::int64_t buffer_words = 0;
+  runtime::RunResult run;           ///< Accumulated counters.
+  double misses_per_input = 0.0;
+  double misses_per_output = 0.0;
+};
+
+/// Structured sweep output.
+struct ExperimentResult {
+  std::vector<CellResult> cells;  ///< Grid order (independent of threads).
+  std::int32_t threads = 1;       ///< Pool size this result was produced with.
+  double wall_seconds = 0.0;      ///< Sweep wall-clock (depends on threads).
+
+  std::size_t failed_cells() const;
+
+  /// One row per cell with a header line. Stable column set, suitable for
+  /// plotting scripts; strings are quoted only when they need escaping.
+  void write_csv(std::ostream& os) const;
+
+  /// `{"threads": ..., "wall_seconds": ..., "cells": [{...}, ...]}`.
+  void write_json(std::ostream& os) const;
+};
+
+/// A configured sweep. Construction only captures the spec and registries;
+/// run() executes the grid.
+class Experiment {
+ public:
+  /// Null registries default to the process-wide instances; pass isolated
+  /// registries to pin exactly which strategies a sweep can see. The
+  /// registries must outlive the experiment.
+  explicit Experiment(SweepSpec spec,
+                      const workloads::Registry* workload_registry = nullptr,
+                      const partition::Registry* partitioner_registry = nullptr,
+                      const schedule::Registry* scheduler_registry = nullptr);
+
+  const SweepSpec& spec() const noexcept { return spec_; }
+
+  /// Number of grid cells run() will evaluate.
+  std::size_t cell_count() const;
+
+  /// Executes every cell on `threads` pool workers (clamped to >= 1) and
+  /// returns the filled grid. Cell failures are recorded per cell; this
+  /// only throws for a structurally empty spec (no workloads, no caches, or
+  /// no strategies at all).
+  ExperimentResult run(std::int32_t threads = 1) const;
+
+ private:
+  struct Coordinate;  // defined in experiment.cc
+
+  std::vector<Coordinate> enumerate() const;
+  CellResult run_cell(const Coordinate& at) const;
+
+  SweepSpec spec_;
+  const workloads::Registry* workloads_;
+  const partition::Registry* partitioners_;
+  const schedule::Registry* schedulers_;
+};
+
+}  // namespace ccs::core

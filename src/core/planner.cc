@@ -1,0 +1,156 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "analysis/lower_bound.h"
+#include "schedule/partitioned.h"
+#include "sdf/validate.h"
+#include "util/error.h"
+
+namespace ccs::core {
+
+void validate_cache_geometry(const iomodel::CacheConfig& cache) {
+  if (cache.block_words <= 0) {
+    throw MemoryError("cache block size must be positive");
+  }
+  if (cache.capacity_words < cache.block_words) {
+    throw MemoryError("cache must hold at least one block (capacity " +
+                      std::to_string(cache.capacity_words) + " words, block " +
+                      std::to_string(cache.block_words) + " words)");
+  }
+}
+
+namespace {
+
+// Runs the session's one-time validation (cache geometry, then the paper's
+// model assumptions) and hands the graph on to the GainMap member, so a
+// Planner that constructed successfully needs no further checks.
+const sdf::SdfGraph& validate_session(const sdf::SdfGraph& g, const PlannerOptions& options) {
+  validate_cache_geometry(options.cache);
+  sdf::ValidationOptions validation;
+  validation.max_module_state = options.cache.capacity_words;
+  sdf::validate_or_throw(g, validation);
+  return g;
+}
+
+}  // namespace
+
+Planner::Planner(sdf::SdfGraph graph, PlannerOptions options,
+                 const partition::Registry* registry)
+    : graph_(std::move(graph)),
+      options_(std::move(options)),
+      registry_(registry != nullptr ? registry : &partition::Registry::global()),
+      gains_(validate_session(graph_, options_)) {}
+
+partition::StrategyContext Planner::strategy_context() const {
+  partition::StrategyContext ctx;
+  ctx.cache_words = options_.cache.capacity_words;
+  ctx.state_bound = static_cast<std::int64_t>(
+      options_.c_bound * static_cast<double>(options_.cache.capacity_words));
+  ctx.exact_max_nodes = options_.exact_max_nodes;
+  ctx.seed = options_.seed;
+  return ctx;
+}
+
+std::string Planner::resolve_auto() const {
+  if (graph_.is_pipeline()) return "pipeline-dp";
+  if (graph_.node_count() <= options_.exact_max_nodes) return "exact";
+  return "dag-refined";
+}
+
+Plan Planner::plan() const { return plan(options_.partitioner); }
+
+Plan Planner::plan(const std::string& partitioner) const {
+  const std::string name = partitioner == "auto" ? resolve_auto() : partitioner;
+
+  Plan out;
+  out.partition = registry_->build(name, graph_, strategy_context());
+  out.partitioner_name = name;
+
+  schedule::PartitionedOptions sched;
+  sched.m = options_.cache.capacity_words;
+  sched.t_multiplier = options_.t_multiplier;
+  out.batch_t = schedule::compute_batch_t(graph_, sched);
+  out.schedule = schedule::partitioned_schedule(graph_, out.partition, sched);
+  out.schedule.name = "partitioned/" + out.partitioner_name;
+
+  out.partition_bandwidth = partition::bandwidth(graph_, gains_, out.partition);
+  out.predicted = analysis::predict_partitioned_cost(graph_, out.partition, out.batch_t,
+                                                     options_.cache.block_words);
+  return out;
+}
+
+std::vector<Plan> Planner::plan_all() const {
+  std::vector<Plan> out;
+  for (const std::string& name : registry_->applicable_keys(graph_, strategy_context())) {
+    out.push_back(plan(name));
+  }
+  return out;
+}
+
+std::optional<Rational> Planner::lower_bound_bandwidth() const {
+  const std::lock_guard<std::mutex> lock(lower_bound_mutex_);
+  if (!lower_bound_computed_) {
+    // Theorem 3 for pipelines / Theorems 7 and 10 for dags, both expressed
+    // as a minimum bandwidth: every schedule pays Omega((T/B) * bw). For
+    // pipelines the DP is polynomial; for dags the exact solver bails out
+    // (nullopt) above the node budget rather than going exponential.
+    lower_bound_bw_ = analysis::dag_min_bandwidth_3m(graph_, options_.cache.capacity_words,
+                                                     options_.exact_max_nodes);
+    lower_bound_computed_ = true;
+  }
+  return lower_bound_bw_;
+}
+
+std::vector<StrategyComparison> Planner::compare() const {
+  const std::optional<Rational> bound = lower_bound_bandwidth();
+  std::vector<StrategyComparison> out;
+  std::vector<Plan> plans = plan_all();
+  for (Plan& plan : plans) {
+    StrategyComparison row;
+    row.partitioner = plan.partitioner_name;
+    row.predicted_misses_per_input = plan.predicted.misses_per_input;
+    if (bound.has_value()) {
+      row.has_lower_bound = true;
+      // Per input: (T/B * bw) / T = bw / B.
+      row.lower_bound_misses_per_input =
+          bound->to_double() / static_cast<double>(options_.cache.block_words);
+    }
+    row.plan = std::move(plan);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const StrategyComparison& a, const StrategyComparison& b) {
+    return a.predicted_misses_per_input < b.predicted_misses_per_input ||
+           (a.predicted_misses_per_input == b.predicted_misses_per_input &&
+            a.partitioner < b.partitioner);
+  });
+  return out;
+}
+
+std::string explain(const sdf::SdfGraph& g, const Plan& plan) {
+  std::ostringstream os;
+  os << "plan for " << g << "\n"
+     << "  partitioner : " << plan.partitioner_name << "\n"
+     << "  components  : " << plan.partition.num_components << " (bandwidth "
+     << plan.partition_bandwidth << ")\n"
+     << "  batch T     : " << plan.batch_t << " source firings per component load\n"
+     << "  period      : " << plan.schedule.period.size() << " firings, "
+     << plan.schedule.outputs_per_period << " outputs\n"
+     << "  buffers     : " << plan.schedule.total_buffer_words() << " words total\n"
+     << "  predicted   : " << plan.predicted.misses_per_input
+     << " misses/input (state " << plan.predicted.state_term << " + buffers "
+     << plan.predicted.buffer_term << " + cross " << plan.predicted.cross_term
+     << " per batch)\n";
+  const auto states = partition::component_states(g, plan.partition);
+  const auto comps = plan.partition.components();
+  for (std::size_t c = 0; c < comps.size(); ++c) {
+    os << "  V" << c << " (" << states[c] << " words):";
+    for (const sdf::NodeId v : comps[c]) os << " " << g.node(v).name;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ccs::core

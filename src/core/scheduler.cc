@@ -1,186 +1,28 @@
 #include "core/scheduler.h"
 
-#include <cmath>
-#include <sstream>
-
 #include "iomodel/cache.h"
-#include "partition/agglomerative.h"
-#include "partition/dag_exact.h"
-#include "partition/dag_greedy.h"
-#include "partition/dag_refine.h"
-#include "partition/pipeline_dp.h"
-#include "partition/pipeline_greedy.h"
-#include "schedule/partitioned.h"
-#include "schedule/schedule.h"
-#include "sdf/gain.h"
-#include "sdf/validate.h"
-#include "util/error.h"
+#include "util/contracts.h"
 
 namespace ccs::core {
 
-namespace {
-
-struct ChosenPartition {
-  partition::Partition partition;
-  std::string name;
-};
-
-// Both facade entry points take a caller-supplied cache geometry; reject
-// degenerate ones as recoverable input errors before any contract deep in
-// the cache simulator can fire.
-void check_cache_geometry(const iomodel::CacheConfig& cache) {
-  if (cache.block_words <= 0) {
-    throw MemoryError("cache block size must be positive");
-  }
-  if (cache.capacity_words < cache.block_words) {
-    throw MemoryError("cache must hold at least one block (capacity " +
-                      std::to_string(cache.capacity_words) + " words, block " +
-                      std::to_string(cache.block_words) + " words)");
-  }
-}
-
-ChosenPartition choose_partition(const sdf::SdfGraph& g, const PlannerOptions& options) {
-  const auto state_bound =
-      static_cast<std::int64_t>(options.c_bound *
-                                static_cast<double>(options.cache.capacity_words));
-  PartitionerKind kind = options.partitioner;
-  if (kind == PartitionerKind::kAuto) {
-    if (g.is_pipeline()) {
-      kind = PartitionerKind::kPipelineDp;
-    } else if (g.node_count() <= options.exact_max_nodes) {
-      kind = PartitionerKind::kExact;
-    } else {
-      kind = PartitionerKind::kDagRefined;
-    }
-  }
-  switch (kind) {
-    case PartitionerKind::kPipelineDp:
-      return {partition::pipeline_optimal_partition(g, state_bound).partition,
-              "pipeline-dp"};
-    case PartitionerKind::kPipelineGreedy:
-      return {partition::pipeline_greedy_partition(g, options.cache.capacity_words).partition,
-              "pipeline-greedy"};
-    case PartitionerKind::kDagGreedy:
-      return {partition::dag_greedy_partition(g, state_bound), "dag-greedy"};
-    case PartitionerKind::kDagGreedyGain:
-      return {partition::dag_greedy_gain_partition(g, state_bound), "dag-greedy-gain"};
-    case PartitionerKind::kDagRefined: {
-      // Refine from both greedy starts and keep the lower-bandwidth result:
-      // neither start dominates across graph families.
-      partition::RefineOptions refine;
-      refine.state_bound = state_bound;
-      const sdf::GainMap gains(g);
-      auto a = partition::refine_partition(
-          g, partition::dag_greedy_partition(g, state_bound), refine);
-      auto b = partition::refine_partition(
-          g, partition::dag_greedy_gain_partition(g, state_bound), refine);
-      const bool pick_a =
-          partition::bandwidth(g, gains, a) <= partition::bandwidth(g, gains, b);
-      return {pick_a ? std::move(a) : std::move(b), "dag-refined"};
-    }
-    case PartitionerKind::kAgglomerative:
-      return {partition::agglomerative_partition(g, state_bound), "agglomerative"};
-    case PartitionerKind::kExact: {
-      partition::ExactOptions exact;
-      exact.state_bound = state_bound;
-      exact.max_nodes = std::max(options.exact_max_nodes, g.node_count());
-      const auto result = partition::dag_exact_partition(g, exact);
-      if (!result.has_value()) {
-        throw Error("exact partitioner exceeded its budget; use a heuristic partitioner");
-      }
-      return {result->partition, "exact"};
-    }
-    case PartitionerKind::kAuto:
-      break;  // unreachable: resolved above
-  }
-  throw Error("unknown partitioner kind");
-}
-
-}  // namespace
-
 Plan plan(const sdf::SdfGraph& g, const PlannerOptions& options) {
-  check_cache_geometry(options.cache);
-  sdf::ValidationOptions validation;
-  validation.max_module_state = options.cache.capacity_words;
-  sdf::validate_or_throw(g, validation);
-
-  Plan out;
-  auto chosen = choose_partition(g, options);
-  out.partition = std::move(chosen.partition);
-  out.partitioner_name = std::move(chosen.name);
-
-  schedule::PartitionedOptions sched;
-  sched.m = options.cache.capacity_words;
-  sched.t_multiplier = options.t_multiplier;
-  out.batch_t = schedule::compute_batch_t(g, sched);
-  out.schedule = schedule::partitioned_schedule(g, out.partition, sched);
-  out.schedule.name = "partitioned/" + out.partitioner_name;
-
-  const sdf::GainMap gains(g);
-  out.partition_bandwidth = partition::bandwidth(g, gains, out.partition);
-  out.predicted = analysis::predict_partitioned_cost(g, out.partition, out.batch_t,
-                                                     options.cache.block_words);
-  return out;
+  return Planner(g, options).plan();
 }
 
 runtime::RunResult simulate(const sdf::SdfGraph& g, const schedule::Schedule& s,
                             const iomodel::CacheConfig& cache_config,
                             std::int64_t target_outputs,
                             runtime::EngineOptions engine_options) {
-  check_cache_geometry(cache_config);
+  validate_cache_geometry(cache_config);
   CCS_EXPECTS(target_outputs > 0, "output target must be positive");
   iomodel::LruCache cache(cache_config);
   runtime::Engine engine(g, s.buffer_caps, cache, engine_options);
   const std::int64_t rounds = schedule::periods_for_outputs(s, target_outputs);
   runtime::RunResult total;
   for (std::int64_t r = 0; r < rounds; ++r) {
-    total = merge(std::move(total), engine.run(s.period));
+    total += engine.run(s.period);
   }
   return total;
-}
-
-runtime::RunResult merge(runtime::RunResult a, const runtime::RunResult& b) {
-  a.cache.accesses += b.cache.accesses;
-  a.cache.hits += b.cache.hits;
-  a.cache.misses += b.cache.misses;
-  a.cache.writebacks += b.cache.writebacks;
-  a.firings += b.firings;
-  a.source_firings += b.source_firings;
-  a.sink_firings += b.sink_firings;
-  a.state_misses += b.state_misses;
-  a.channel_misses += b.channel_misses;
-  a.io_misses += b.io_misses;
-  if (a.node_misses.size() < b.node_misses.size()) {
-    a.node_misses.resize(b.node_misses.size(), 0);
-  }
-  for (std::size_t i = 0; i < b.node_misses.size(); ++i) {
-    a.node_misses[i] += b.node_misses[i];
-  }
-  return a;
-}
-
-std::string explain(const sdf::SdfGraph& g, const Plan& plan) {
-  std::ostringstream os;
-  os << "plan for " << g << "\n"
-     << "  partitioner : " << plan.partitioner_name << "\n"
-     << "  components  : " << plan.partition.num_components << " (bandwidth "
-     << plan.partition_bandwidth << ")\n"
-     << "  batch T     : " << plan.batch_t << " source firings per component load\n"
-     << "  period      : " << plan.schedule.period.size() << " firings, "
-     << plan.schedule.outputs_per_period << " outputs\n"
-     << "  buffers     : " << plan.schedule.total_buffer_words() << " words total\n"
-     << "  predicted   : " << plan.predicted.misses_per_input
-     << " misses/input (state " << plan.predicted.state_term << " + buffers "
-     << plan.predicted.buffer_term << " + cross " << plan.predicted.cross_term
-     << " per batch)\n";
-  const auto states = partition::component_states(g, plan.partition);
-  const auto comps = plan.partition.components();
-  for (std::size_t c = 0; c < comps.size(); ++c) {
-    os << "  V" << c << " (" << states[c] << " words):";
-    for (const sdf::NodeId v : comps[c]) os << " " << g.node(v).name;
-    os << "\n";
-  }
-  return os.str();
 }
 
 }  // namespace ccs::core

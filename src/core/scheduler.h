@@ -1,16 +1,21 @@
-// CacheConsciousScheduler -- the library's one-call public facade.
+// Legacy one-call facade over the session API.
 //
-// This is the paper's contribution packaged as an API: give it a streaming
-// graph and a cache geometry, and it (1) validates the graph against the
-// paper's model assumptions, (2) picks and runs a partitioner, (3) builds
-// the two-level partitioned schedule, (4) predicts its cost (Lemma 4/8) and
-// computes the matching lower bound, and (5) can execute any schedule on
-// the simulated cache for measurement.
+// The supported public surface is the session API in this directory:
+//   core::Planner     (core/planner.h)    -- plan one graph, one session
+//   core::Experiment  (core/experiment.h) -- sweep scenario grids in parallel
+//   partition::Registry / schedule::Registry / workloads::Registry
+//                                         -- name-addressed strategies
+//
+// The free functions below predate it. `core::plan` survives as a thin shim
+// over `Planner` for one-shot callers; prefer constructing a Planner when
+// you plan the same graph more than once (construction caches validation and
+// the gain analysis). `core::simulate` remains the single-run measurement
+// primitive (Experiment uses it per sweep cell).
 //
 //   using namespace ccs;
 //   core::PlannerOptions opts;
 //   opts.cache.capacity_words = 32 * 1024;
-//   core::Plan plan = core::plan(graph, opts);
+//   core::Plan plan = core::plan(graph, opts);   // == Planner(graph, opts).plan()
 //   runtime::RunResult r = core::simulate(graph, plan.schedule, opts.cache,
 //                                         /*target_outputs=*/100000);
 //   std::cout << r.misses_per_input() << " vs predicted "
@@ -18,12 +23,9 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
-#include "analysis/cost_model.h"
-#include "analysis/lower_bound.h"
+#include "core/planner.h"
 #include "iomodel/types.h"
-#include "partition/partition.h"
 #include "runtime/engine.h"
 #include "runtime/run_result.h"
 #include "schedule/schedule.h"
@@ -31,41 +33,11 @@
 
 namespace ccs::core {
 
-/// Which partitioner drives the plan.
-enum class PartitionerKind {
-  kAuto,            ///< DP for pipelines, exact for small dags, refined greedy else.
-  kPipelineDp,      ///< Optimal pipeline segmentation (poly time).
-  kPipelineGreedy,  ///< Theorem 5 accretion + gain-min cuts.
-  kDagGreedy,       ///< Topological first-fit packing.
-  kDagGreedyGain,   ///< Packing with gain-aware boundary retreat.
-  kDagRefined,      ///< Best of both greedy starts + FM-style local search.
-  kAgglomerative,   ///< Heavy-edge clustering + refinement.
-  kExact,           ///< Exponential ideal DP (small graphs only).
-};
-
-/// Planning knobs.
-struct PlannerOptions {
-  iomodel::CacheConfig cache;          ///< M (words) and B (words/block).
-  double c_bound = 3.0;                ///< Components hold at most c*M state.
-  PartitionerKind partitioner = PartitionerKind::kAuto;
-  std::int64_t t_multiplier = 1;       ///< Batch scaling beyond the legal minimum.
-  std::int32_t exact_max_nodes = 20;   ///< kAuto switches off exact above this.
-};
-
-/// Everything the planner decided, plus its cost predictions.
-struct Plan {
-  partition::Partition partition;
-  schedule::Schedule schedule;
-  analysis::CostPrediction predicted;
-  Rational partition_bandwidth;        ///< bandwidth(P) of the chosen partition.
-  std::string partitioner_name;        ///< For tables ("pipeline-dp", ...).
-  std::int64_t batch_t = 0;            ///< Source firings per batch.
-};
-
-/// Builds a complete plan. Throws GraphError/RateError for graphs outside
-/// the paper's model, MemoryError for a degenerate cache geometry (zero or
-/// negative capacity, cache smaller than one block), and ccs::Error when no
-/// c-bounded partition exists.
+/// Legacy shim: builds a complete plan in one call, equal in every field to
+/// `Planner(g, options).plan()`. Throws GraphError/RateError for graphs
+/// outside the paper's model, MemoryError for a degenerate cache geometry,
+/// ccs::Error for an unknown partitioner name (the message lists the valid
+/// registry keys) and when no c-bounded partition exists.
 Plan plan(const sdf::SdfGraph& g, const PlannerOptions& options);
 
 /// Executes a schedule (any scheduler's) on a fresh fully-associative LRU
@@ -76,13 +48,5 @@ runtime::RunResult simulate(const sdf::SdfGraph& g, const schedule::Schedule& s,
                             const iomodel::CacheConfig& cache_config,
                             std::int64_t target_outputs,
                             runtime::EngineOptions engine_options = {});
-
-/// Sums the counters of two runs (for accumulating across periods).
-runtime::RunResult merge(runtime::RunResult a, const runtime::RunResult& b);
-
-/// Multi-line human-readable report of a plan: partition composition,
-/// batch parameters, buffer budget, predicted cost, and the assumptions
-/// the plan relies on. Intended for logs and tooling output.
-std::string explain(const sdf::SdfGraph& g, const Plan& plan);
 
 }  // namespace ccs::core

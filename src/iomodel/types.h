@@ -49,6 +49,8 @@ struct CacheStats {
   }
   /// Total block transfers in the I/O model (fetches + dirty evictions).
   std::int64_t transfers() const { return misses + writebacks; }
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
 };
 
 }  // namespace ccs::iomodel

@@ -223,4 +223,27 @@ void Engine::reset_tokens() {
   fired_.assign(fired_.size(), 0);
 }
 
+void Engine::rebind_cache(iomodel::CacheSim& cache) {
+  CCS_EXPECTS(cache.config().block_words == cache_->config().block_words,
+              "rebind requires the same block size (the memory layout depends on it)");
+  cache_ = &cache;
+  reset_tokens();
+  external_in_cursor_ = 0;
+  external_out_cursor_ = 0;
+  source_firings_ = 0;
+  sink_firings_ = 0;
+  total_firings_ = 0;
+  last_firings_ = 0;
+  last_source_firings_ = 0;
+  last_sink_firings_ = 0;
+  state_misses_ = 0;
+  channel_misses_ = 0;
+  io_misses_ = 0;
+  last_state_misses_ = 0;
+  last_channel_misses_ = 0;
+  last_io_misses_ = 0;
+  node_miss_base_.assign(node_miss_base_.size(), 0);
+  last_stats_ = cache.stats();
+}
+
 }  // namespace ccs::runtime

@@ -98,6 +98,16 @@ class Engine {
   /// (cache contents and statistics are left untouched).
   void reset_tokens();
 
+  /// Rebinds the engine to a different cache of the same block size and
+  /// restores the as-constructed execution state: channels empty, firing and
+  /// classified-miss counters zeroed, external IO cursors rewound, and the
+  /// delta baselines re-anchored to the new cache's current statistics. A
+  /// sweep worker can therefore reuse one constructed engine (layout and
+  /// firing plans are preserved) across repeated measurements, each against
+  /// a cold cache, and observe counters identical to a freshly constructed
+  /// engine. `cache` must outlive the engine.
+  void rebind_cache(iomodel::CacheSim& cache);
+
   const sdf::SdfGraph& graph() const noexcept { return *graph_; }
   iomodel::CacheSim& cache() noexcept { return *cache_; }
   std::int64_t state_footprint() const noexcept { return state_words_; }

@@ -1,6 +1,7 @@
 // Structured result of executing a firing sequence on the simulated cache.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -36,6 +37,39 @@ struct RunResult {
                ? static_cast<double>(cache.misses) / static_cast<double>(sink_firings)
                : 0.0;
   }
+
+  /// Accumulates another run's counters (periods of the same execution, or
+  /// shards of a partitioned measurement). Per-node attributions are summed
+  /// index-wise; a shorter vector is treated as zero-extended.
+  RunResult& operator+=(const RunResult& other) {
+    cache.accesses += other.cache.accesses;
+    cache.hits += other.cache.hits;
+    cache.misses += other.cache.misses;
+    cache.writebacks += other.cache.writebacks;
+    firings += other.firings;
+    source_firings += other.source_firings;
+    sink_firings += other.sink_firings;
+    state_misses += other.state_misses;
+    channel_misses += other.channel_misses;
+    io_misses += other.io_misses;
+    if (node_misses.size() < other.node_misses.size()) {
+      node_misses.resize(other.node_misses.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.node_misses.size(); ++i) {
+      node_misses[i] += other.node_misses[i];
+    }
+    return *this;
+  }
+
+  friend RunResult operator+(RunResult a, const RunResult& b) {
+    a += b;
+    return a;
+  }
+
+  /// Exact counter equality — the single definition the sweep repetition
+  /// tripwire and the determinism tests compare through, so a counter added
+  /// here is automatically covered by all of them.
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 };
 
 }  // namespace ccs::runtime

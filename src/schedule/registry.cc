@@ -1,0 +1,55 @@
+#include "schedule/registry.h"
+
+#include "schedule/kohli.h"
+#include "schedule/naive.h"
+#include "schedule/scaled.h"
+
+namespace ccs::schedule {
+
+Registry& Registry::global() {
+  static Registry instance;
+  static const bool initialized = (register_builtin_schedulers(instance), true);
+  (void)initialized;
+  return instance;
+}
+
+std::vector<std::string> Registry::applicable_keys(const sdf::SdfGraph& g,
+                                                   const SchedulerContext& ctx) const {
+  std::vector<std::string> out;
+  for (const std::string& name : keys()) {
+    const SchedulerEntry s = find(name);
+    if (!s.applicable || s.applicable(g, ctx)) out.push_back(name);
+  }
+  return out;
+}
+
+Schedule Registry::build(const std::string& name, const sdf::SdfGraph& g,
+                         const SchedulerContext& ctx) const {
+  return find(name).build(g, ctx);
+}
+
+void register_builtin_schedulers(Registry& r) {
+  r.add("naive",
+        {[](const sdf::SdfGraph& g, const SchedulerContext&) {
+           return naive_minimal_buffer_schedule(g);
+         },
+         nullptr, "demand-driven steady state over minimal buffers"});
+  r.add("single-appearance",
+        {[](const sdf::SdfGraph& g, const SchedulerContext&) {
+           return naive_single_appearance_schedule(g);
+         },
+         nullptr, "single-appearance steady state (topological, q(v) firings)"});
+  r.add("scaled",
+        {[](const sdf::SdfGraph& g, const SchedulerContext& ctx) {
+           return scaled_schedule(g, ctx.cache_words);
+         },
+         nullptr, "execution scaling (Sermulins et al.)"});
+  r.add("kohli",
+        {[](const sdf::SdfGraph& g, const SchedulerContext& ctx) {
+           return kohli_schedule(g, ctx.cache_words);
+         },
+         [](const sdf::SdfGraph& g, const SchedulerContext&) { return g.is_pipeline(); },
+         "Kohli's greedy cache-aware heuristic (pipelines only)"});
+}
+
+}  // namespace ccs::schedule

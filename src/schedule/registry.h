@@ -1,0 +1,67 @@
+// String-keyed baseline-scheduler registry.
+//
+// Experiment sweeps and examples compare the paper's partitioned schedule
+// against the literature's cache-oblivious and cache-aware baselines. This
+// registry names those whole-graph schedulers ("naive", "scaled", ...), so
+// sweep specs and CLI flags can select them by key, and callers can register
+// custom schedulers that then participate in every comparison. (The
+// partitioned scheduler itself is not an entry: it is parameterized by a
+// partition and lives behind core::Planner.) Unknown names throw a
+// recoverable ccs::Error listing every valid key.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "schedule/schedule.h"
+#include "sdf/graph.h"
+#include "util/registry.h"
+
+namespace ccs::schedule {
+
+/// What a baseline scheduler may consult: the target cache geometry.
+struct SchedulerContext {
+  std::int64_t cache_words = 64 * 1024;  ///< M (words).
+  std::int64_t block_words = 8;          ///< B (words per block).
+};
+
+/// A named whole-graph scheduler.
+struct SchedulerEntry {
+  /// Builds a periodic schedule or throws a ccs::Error subclass (e.g.
+  /// GraphError from pipeline-only schedulers on a dag).
+  std::function<Schedule(const sdf::SdfGraph&, const SchedulerContext&)> build;
+
+  /// True iff the scheduler makes sense for this graph; null = always.
+  std::function<bool(const sdf::SdfGraph&, const SchedulerContext&)> applicable;
+
+  /// One-line description for --help style listings.
+  std::string description;
+};
+
+/// String-keyed scheduler table. See util/registry.h for the shared
+/// add/find/keys semantics (duplicate and unknown keys throw ccs::Error).
+class Registry : public NamedRegistry<SchedulerEntry> {
+ public:
+  Registry() : NamedRegistry<SchedulerEntry>("scheduler") {}
+
+  /// The process-wide registry, seeded with the built-ins on first use.
+  static Registry& global();
+
+  /// Keys of every scheduler applicable to `g` under `ctx`, sorted.
+  std::vector<std::string> applicable_keys(const sdf::SdfGraph& g,
+                                           const SchedulerContext& ctx) const;
+
+  /// Looks up `name` and runs it. Throws ccs::Error (listing valid keys)
+  /// for unknown names; propagates the scheduler's own errors.
+  Schedule build(const std::string& name, const sdf::SdfGraph& g,
+                 const SchedulerContext& ctx) const;
+};
+
+/// Registers the built-in schedulers into `r` (used by global(); exposed so
+/// tests can build isolated registries): naive, single-appearance, scaled,
+/// kohli.
+void register_builtin_schedulers(Registry& r);
+
+}  // namespace ccs::schedule

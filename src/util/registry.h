@@ -1,0 +1,96 @@
+// Shared mechanics for the library's string-keyed strategy registries.
+//
+// The public API resolves partitioners, baseline schedulers, and workload
+// factories by name (partition::Registry, schedule::Registry,
+// workloads::Registry). All three need the same behaviour: registration of
+// built-ins and user strategies under unique keys, recoverable errors for
+// unknown or duplicate keys that spell out the valid alternatives, and
+// lookups that are safe from the sweep driver's worker threads. This
+// template is that behaviour; each layer instantiates it with its own entry
+// type and registers its built-ins into the process-wide instance.
+//
+// Thread safety: add/contains/find/keys serialize on an internal mutex, so
+// concurrent lookups (Experiment workers) and registrations never race.
+// Entries are returned by value; invoking a retrieved strategy does not hold
+// the lock, so strategies may themselves consult the registry.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace ccs {
+
+/// String-keyed registry of `Entry` values. `kind` names the entry family
+/// ("partitioner", "scheduler", "workload") in error messages.
+template <typename Entry>
+class NamedRegistry {
+ public:
+  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  NamedRegistry(const NamedRegistry&) = delete;
+  NamedRegistry& operator=(const NamedRegistry&) = delete;
+
+  /// Registers `entry` under `name`. Throws ccs::Error for an empty name or
+  /// a key that is already taken (re-registering is almost always a linking
+  /// or initialization bug; callers wanting replacement must pick new keys).
+  void add(const std::string& name, Entry entry) {
+    if (name.empty()) throw Error("cannot register a " + kind_ + " with an empty name");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(name) > 0) {
+      throw Error(kind_ + " '" + name + "' is already registered" + known_keys_suffix());
+    }
+    entries_.emplace(name, std::move(entry));
+  }
+
+  /// True iff `name` is registered.
+  bool contains(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(name) > 0;
+  }
+
+  /// Returns the entry registered under `name`. Throws ccs::Error listing
+  /// every valid key when the name is unknown, so callers (CLI flags, sweep
+  /// specs) can surface an actionable message verbatim.
+  Entry find(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw Error("unknown " + kind_ + " '" + name + "'" + known_keys_suffix());
+    }
+    return it->second;
+  }
+
+  /// All registered keys in sorted order.
+  std::vector<std::string> keys() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+    return out;
+  }
+
+  /// Number of registered entries.
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+ private:
+  // Callers must hold mutex_.
+  std::string known_keys_suffix() const {
+    if (entries_.empty()) return "; no " + kind_ + "s are registered";
+    std::string out = "; valid " + kind_ + "s:";
+    for (const auto& [name, entry] : entries_) out += " " + name;
+    return out;
+  }
+
+  std::string kind_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace ccs

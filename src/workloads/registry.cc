@@ -1,0 +1,62 @@
+#include "workloads/registry.h"
+
+#include "util/rng.h"
+#include "workloads/pipelines.h"
+#include "workloads/random_dag.h"
+#include "workloads/streamit.h"
+
+namespace ccs::workloads {
+
+Registry& Registry::global() {
+  static Registry instance;
+  static const bool initialized = (register_builtin_workloads(instance), true);
+  (void)initialized;
+  return instance;
+}
+
+sdf::SdfGraph Registry::build(const std::string& name) const {
+  return find(name).build();
+}
+
+void register_builtin_workloads(Registry& r) {
+  // The twelve StreamIt-style applications at their default parameters,
+  // under the exact names streamit_suite() uses in tables.
+  r.add("FMRadio", {[] { return fm_radio(); }, "FM radio frontend (deep pipeline + equalizer split-join)"});
+  r.add("FilterBank", {[] { return filter_bank(); }, "M-channel analysis/synthesis filter bank"});
+  r.add("Beamformer", {[] { return beamformer(); }, "multi-channel beamformer (stacked split-joins)"});
+  r.add("BitonicSort", {[] { return bitonic_sort(); }, "bitonic sorting network (homogeneous butterfly)"});
+  r.add("FFT", {[] { return fft(); }, "radix-2 FFT butterfly network"});
+  r.add("DES", {[] { return des(); }, "DES cipher (heavy-state 16-round pipeline)"});
+  r.add("ChannelVocoder", {[] { return channel_vocoder(); }, "channel vocoder (wide shallow split-join)"});
+  r.add("MatrixMult", {[] { return matrix_mult(); }, "blocked matrix multiply pipeline"});
+  r.add("Vocoder", {[] { return vocoder(); }, "phase vocoder (multirate split-join)"});
+  r.add("TDE", {[] { return tde(); }, "time-delay equalization (deep multirate pipeline)"});
+  r.add("Serpent", {[] { return serpent(); }, "Serpent cipher (32-round pipeline)"});
+  r.add("Radar", {[] { return radar(); }, "radar array frontend (deep FIR chains + beams)"});
+
+  // Parametric families at representative sizes. Randomized generators use
+  // fixed seeds so sweep cells are reproducible bit-for-bit.
+  r.add("uniform-pipeline",
+        {[] { return uniform_pipeline(16, 200); },
+         "16-stage uniform pipeline, 200 words of state per module"});
+  r.add("hourglass-pipeline",
+        {[] { return hourglass_pipeline(16, 200, 2); },
+         "decimate-then-interpolate pipeline (gain waist in the middle)"});
+  r.add("heavy-tail-pipeline",
+        {[] { return heavy_tail_pipeline(24, 64, 600, 6); },
+         "mostly small modules with every 6th at 600 words"});
+  r.add("layered-dag",
+        {[] {
+           Rng rng(1);
+           return layered_homogeneous_dag(LayeredSpec{}, rng);
+         },
+         "layered homogeneous dag (all rates 1), seed 1"});
+  r.add("series-parallel-dag",
+        {[] {
+           Rng rng(1);
+           return series_parallel_dag(SeriesParallelSpec{}, rng);
+         },
+         "rate-matched multirate series-parallel dag, seed 1"});
+}
+
+}  // namespace ccs::workloads

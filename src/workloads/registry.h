@@ -1,0 +1,52 @@
+// String-keyed workload-factory registry.
+//
+// Experiment sweep specs name their subjects ("FMRadio", "uniform-pipeline",
+// ...) instead of constructing graphs by hand, so a sweep over the whole
+// StreamIt-style suite is a list of keys. Built-ins cover the twelve suite
+// applications at their default parameters plus the parametric pipeline and
+// dag families at representative sizes; callers register their own factories
+// (any nullary callable producing an SdfGraph) to make custom applications
+// sweepable by name. Factories are deterministic: randomized generators are
+// registered with fixed seeds so equal specs produce equal graphs. Unknown
+// names throw a recoverable ccs::Error listing every valid key.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sdf/graph.h"
+#include "util/registry.h"
+
+namespace ccs::workloads {
+
+/// A named application factory.
+struct WorkloadEntry {
+  /// Builds a fresh graph (factories must be pure: thread-safe and
+  /// deterministic, returning equal graphs on every call).
+  std::function<sdf::SdfGraph()> build;
+
+  /// One-line description for --help style listings.
+  std::string description;
+};
+
+/// String-keyed workload table. See util/registry.h for the shared
+/// add/find/keys semantics (duplicate and unknown keys throw ccs::Error).
+class Registry : public NamedRegistry<WorkloadEntry> {
+ public:
+  Registry() : NamedRegistry<WorkloadEntry>("workload") {}
+
+  /// The process-wide registry, seeded with the built-ins on first use.
+  static Registry& global();
+
+  /// Looks up `name` and builds the graph. Throws ccs::Error (listing valid
+  /// keys) for unknown names.
+  sdf::SdfGraph build(const std::string& name) const;
+};
+
+/// Registers the built-in factories into `r` (used by global(); exposed so
+/// tests can build isolated registries): the twelve streamit_suite() apps
+/// under their suite names, plus uniform-pipeline, hourglass-pipeline,
+/// heavy-tail-pipeline, layered-dag, and series-parallel-dag.
+void register_builtin_workloads(Registry& r);
+
+}  // namespace ccs::workloads

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/planner.h"
 #include "schedule/naive.h"
 #include "schedule/validate.h"
 #include "util/error.h"
@@ -52,17 +55,107 @@ TEST(Planner, AutoPicksRefinedForLargeDags) {
 
 TEST(Planner, AllExplicitPartitionersWork) {
   const auto g = ccs::workloads::uniform_pipeline(12, 200);
-  for (const auto kind :
-       {PartitionerKind::kPipelineDp, PartitionerKind::kPipelineGreedy,
-        PartitionerKind::kDagGreedy, PartitionerKind::kDagGreedyGain,
-        PartitionerKind::kDagRefined, PartitionerKind::kExact}) {
+  for (const std::string name :
+       {"pipeline-dp", "pipeline-greedy", "dag-greedy", "dag-greedy-gain", "dag-refined",
+        "anneal", "agglomerative", "exact"}) {
     auto opts = small_cache();
-    opts.partitioner = kind;
+    opts.partitioner = name;
     const auto plan = core::plan(g, opts);
-    EXPECT_TRUE(schedule::check_schedule(g, plan.schedule).ok)
-        << "partitioner " << static_cast<int>(kind);
-    EXPECT_TRUE(partition::is_well_ordered(g, plan.partition));
+    EXPECT_EQ(plan.partitioner_name, name);
+    EXPECT_TRUE(schedule::check_schedule(g, plan.schedule).ok) << "partitioner " << name;
+    EXPECT_TRUE(partition::is_well_ordered(g, plan.partition)) << "partitioner " << name;
   }
+}
+
+TEST(Planner, UnknownPartitionerNameListsValidKeys) {
+  const auto g = ccs::workloads::uniform_pipeline(8, 100);
+  auto opts = small_cache();
+  opts.partitioner = "no-such-strategy";
+  try {
+    core::plan(g, opts);
+    FAIL() << "expected ccs::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-strategy"), std::string::npos) << what;
+    EXPECT_NE(what.find("pipeline-dp"), std::string::npos) << what;
+    EXPECT_NE(what.find("dag-refined"), std::string::npos) << what;
+  }
+}
+
+TEST(Planner, SessionPlansAreReusableAndDeterministic) {
+  const auto g = ccs::workloads::uniform_pipeline(12, 200);
+  const Planner planner(g, small_cache());
+  const auto a = planner.plan();
+  const auto b = planner.plan();
+  EXPECT_EQ(a.partition.assignment, b.partition.assignment);
+  EXPECT_EQ(a.schedule.period, b.schedule.period);
+  EXPECT_EQ(a.partitioner_name, b.partitioner_name);
+
+  // Explicit strategy calls on the same session reuse the cached analysis.
+  const auto greedy = planner.plan("dag-greedy");
+  EXPECT_EQ(greedy.partitioner_name, "dag-greedy");
+  EXPECT_TRUE(schedule::check_schedule(planner.graph(), greedy.schedule).ok);
+}
+
+TEST(Planner, ShimMatchesSession) {
+  const auto g = ccs::workloads::uniform_pipeline(12, 200);
+  const auto via_shim = core::plan(g, small_cache());
+  const auto via_session = Planner(g, small_cache()).plan();
+  EXPECT_EQ(via_shim.partition.assignment, via_session.partition.assignment);
+  EXPECT_EQ(via_shim.schedule.period, via_session.schedule.period);
+  EXPECT_EQ(via_shim.batch_t, via_session.batch_t);
+}
+
+TEST(Planner, PlanAllCoversEveryApplicableStrategy) {
+  const auto g = ccs::workloads::uniform_pipeline(12, 200);
+  const Planner planner(g, small_cache());
+  const auto plans = planner.plan_all();
+  // On a small pipeline every built-in strategy applies.
+  EXPECT_EQ(plans.size(), partition::Registry::global().keys().size());
+  for (const auto& plan : plans) {
+    EXPECT_TRUE(schedule::check_schedule(g, plan.schedule).ok) << plan.partitioner_name;
+  }
+
+  // On a large dag the pipeline-only strategies and the exact DP drop out.
+  const auto dag = ccs::workloads::fm_radio(10);
+  auto opts = small_cache();
+  opts.cache.capacity_words = 1024;
+  const Planner dag_planner(dag, opts);
+  const auto dag_plans = dag_planner.plan_all();
+  EXPECT_EQ(dag_plans.size(), plans.size() - 3);
+  for (const auto& plan : dag_plans) {
+    EXPECT_NE(plan.partitioner_name, "pipeline-dp");
+    EXPECT_NE(plan.partitioner_name, "pipeline-greedy");
+    EXPECT_NE(plan.partitioner_name, "exact");
+  }
+}
+
+TEST(Planner, CompareReportsLowerBoundOnPipelines) {
+  const auto g = ccs::workloads::uniform_pipeline(16, 200);
+  const Planner planner(g, small_cache());
+  const auto rows = planner.compare();
+  ASSERT_FALSE(rows.empty());
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.has_lower_bound) << row.partitioner;
+    EXPECT_GT(row.predicted_misses_per_input, 0.0) << row.partitioner;
+    // No strategy's prediction may undercut the Theorem 3/7 bound: the
+    // plan's cross term alone is bandwidth/B >= minBW_3/B.
+    EXPECT_GE(row.predicted_misses_per_input * (1.0 + 1e-9),
+              row.lower_bound_misses_per_input)
+        << row.partitioner;
+  }
+  // Rows are sorted best-first.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].predicted_misses_per_input, rows[i].predicted_misses_per_input);
+  }
+  // The pipeline DP is optimal for pipelines: its predicted cost must tie
+  // the best row (it may share the top spot with strategies that found the
+  // same segmentation).
+  const auto dp = std::find_if(rows.begin(), rows.end(), [](const StrategyComparison& r) {
+    return r.partitioner == "pipeline-dp";
+  });
+  ASSERT_NE(dp, rows.end());
+  EXPECT_DOUBLE_EQ(dp->predicted_misses_per_input, rows.front().predicted_misses_per_input);
 }
 
 TEST(Planner, RejectsInvalidGraphs) {
@@ -154,7 +247,7 @@ TEST(Simulate, PartitionedBeatsNaiveWhenStateExceedsCache) {
   EXPECT_LT(r_part.misses_per_output() * 2, r_naive.misses_per_output());
 }
 
-TEST(Simulate, MergeAccumulates) {
+TEST(RunResult, PlusOperatorsAccumulate) {
   runtime::RunResult a;
   a.cache.misses = 10;
   a.firings = 5;
@@ -163,10 +256,17 @@ TEST(Simulate, MergeAccumulates) {
   b.cache.misses = 7;
   b.firings = 3;
   b.node_misses = {4, 4};
-  const auto m = core::merge(a, b);
+  const auto m = a + b;
   EXPECT_EQ(m.cache.misses, 17);
   EXPECT_EQ(m.firings, 8);
   EXPECT_EQ(m.node_misses, (std::vector<std::int64_t>{5, 6}));
+
+  runtime::RunResult acc;
+  acc += a;
+  acc += b;
+  EXPECT_EQ(acc.cache.misses, 17);
+  EXPECT_EQ(acc.firings, 8);
+  EXPECT_EQ(acc.node_misses, (std::vector<std::int64_t>{5, 6}));
 }
 
 TEST(Planner, ExplainMentionsEveryComponentAndModule) {

@@ -1,0 +1,182 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace ccs::core {
+namespace {
+
+/// The acceptance grid: 2 workloads x 3 cache sizes x 4 partitioners = 24
+/// partitioned cells (plus whatever baselines a test adds).
+SweepSpec acceptance_spec() {
+  SweepSpec spec;
+  spec.workloads = {"uniform-pipeline", "FMRadio"};
+  spec.caches = {{256, 8}, {512, 8}, {1024, 8}};
+  spec.partitioners = {"auto", "dag-greedy", "dag-refined", "agglomerative"};
+  spec.target_outputs = 128;  // keep the grid fast; determinism is size-free
+  return spec;
+}
+
+void expect_cells_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const CellResult& x = a.cells[i];
+    const CellResult& y = b.cells[i];
+    // Same coordinate in the same slot: grid order is thread-independent.
+    EXPECT_EQ(x.workload, y.workload) << i;
+    EXPECT_EQ(x.strategy, y.strategy) << i;
+    EXPECT_EQ(x.cache.capacity_words, y.cache.capacity_words) << i;
+    EXPECT_EQ(x.t_multiplier, y.t_multiplier) << i;
+    // Same outcome and counters, bit for bit. A few named fields first for
+    // readable failures, then the exhaustive defaulted operator== so any
+    // counter added to RunResult is covered automatically.
+    EXPECT_EQ(x.ok, y.ok) << i << " " << x.error << " vs " << y.error;
+    EXPECT_EQ(x.error, y.error) << i;
+    EXPECT_EQ(x.resolved_strategy, y.resolved_strategy) << i;
+    EXPECT_EQ(x.components, y.components) << i;
+    EXPECT_EQ(x.batch_t, y.batch_t) << i;
+    EXPECT_EQ(x.run.cache.misses, y.run.cache.misses) << i;
+    EXPECT_EQ(x.run.sink_firings, y.run.sink_firings) << i;
+    EXPECT_TRUE(x.run == y.run) << i;
+  }
+}
+
+TEST(Experiment, GridEnumerationIsWorkloadMajorAndComplete) {
+  auto spec = acceptance_spec();
+  spec.baselines = {"naive"};
+  const Experiment e(spec);
+  // 2 workloads x 3 caches x (4 partitioners x 1 t_mult + 1 baseline).
+  EXPECT_EQ(e.cell_count(), 2u * 3u * 5u);
+  const auto result = e.run(1);
+  ASSERT_EQ(result.cells.size(), e.cell_count());
+  EXPECT_EQ(result.cells.front().workload, "uniform-pipeline");
+  EXPECT_EQ(result.cells.front().strategy, "auto");
+  EXPECT_EQ(result.cells.back().workload, "FMRadio");
+  EXPECT_TRUE(result.cells.back().is_baseline);
+  EXPECT_EQ(result.cells.back().strategy, "naive");
+}
+
+TEST(Experiment, AcceptanceSweepRunsAndEveryCellSucceeds) {
+  const Experiment e(acceptance_spec());
+  ASSERT_GE(e.cell_count(), 24u);
+  const auto result = e.run(2);
+  EXPECT_EQ(result.threads, 2);
+  EXPECT_EQ(result.failed_cells(), 0u);
+  for (const auto& cell : result.cells) {
+    EXPECT_TRUE(cell.ok) << cell.workload << "/" << cell.strategy << ": " << cell.error;
+    EXPECT_GT(cell.run.sink_firings, 0);
+    EXPECT_GT(cell.components, 0);
+    // Counter coherence must survive the pool.
+    EXPECT_EQ(cell.run.state_misses + cell.run.channel_misses + cell.run.io_misses,
+              cell.run.cache.misses);
+  }
+}
+
+TEST(Experiment, ParallelSweepIsCounterIdenticalToSerial) {
+  auto spec = acceptance_spec();
+  spec.baselines = {"naive", "scaled"};
+  const Experiment e(spec);
+  const auto serial = e.run(1);
+  const auto parallel = e.run(2);
+  const auto wide = e.run(4);
+  EXPECT_EQ(serial.threads, 1);
+  EXPECT_EQ(parallel.threads, 2);
+  expect_cells_identical(serial, parallel);
+  expect_cells_identical(serial, wide);
+}
+
+TEST(Experiment, RepetitionsReuseTheEngineAndAgree) {
+  // repetitions > 1 re-measures each cell through Engine::rebind_cache on a
+  // fresh cache; any divergence fails the cell, so a clean run doubles as a
+  // regression test for the reset hook.
+  SweepSpec spec;
+  spec.workloads = {"uniform-pipeline"};
+  spec.caches = {{512, 8}};
+  spec.partitioners = {"auto"};
+  spec.target_outputs = 128;
+  spec.repetitions = 3;
+  const auto result = Experiment(spec).run(1);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.cells[0].ok) << result.cells[0].error;
+}
+
+TEST(Experiment, BadCellsAreRecordedNotThrown) {
+  SweepSpec spec;
+  spec.workloads = {"uniform-pipeline", "NoSuchApp"};
+  spec.caches = {{512, 8}};
+  spec.partitioners = {"auto", "no-such-partitioner", "pipeline-dp"};
+  spec.target_outputs = 64;
+  const auto result = Experiment(spec).run(2);
+  ASSERT_EQ(result.cells.size(), 6u);
+  EXPECT_EQ(result.failed_cells(), 4u);  // whole bad workload + bad partitioner
+
+  // The unknown-partitioner cell carries the registry's key list.
+  const auto& bad_partitioner = result.cells[1];
+  EXPECT_EQ(bad_partitioner.strategy, "no-such-partitioner");
+  EXPECT_FALSE(bad_partitioner.ok);
+  EXPECT_NE(bad_partitioner.error.find("valid partitioner"), std::string::npos)
+      << bad_partitioner.error;
+
+  const auto& bad_workload = result.cells[3];
+  EXPECT_EQ(bad_workload.workload, "NoSuchApp");
+  EXPECT_FALSE(bad_workload.ok);
+  EXPECT_NE(bad_workload.error.find("unknown workload"), std::string::npos)
+      << bad_workload.error;
+}
+
+TEST(Experiment, InapplicableStrategyFailsOnlyItsCells) {
+  SweepSpec spec;
+  spec.workloads = {"FMRadio"};          // a dag
+  spec.caches = {{1024, 8}};
+  spec.partitioners = {"pipeline-dp"};   // pipeline-only
+  spec.target_outputs = 64;
+  const auto result = Experiment(spec).run(1);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_FALSE(result.cells[0].ok);
+  EXPECT_FALSE(result.cells[0].error.empty());
+}
+
+TEST(Experiment, EmptySpecThrows) {
+  EXPECT_THROW(Experiment(SweepSpec{}).run(1), Error);
+  SweepSpec no_strategies;
+  no_strategies.workloads = {"uniform-pipeline"};
+  no_strategies.caches = {{512, 8}};
+  EXPECT_THROW(Experiment(no_strategies).run(1), Error);
+}
+
+TEST(Experiment, CsvAndJsonEmission) {
+  SweepSpec spec;
+  spec.workloads = {"uniform-pipeline"};
+  spec.caches = {{512, 8}};
+  spec.partitioners = {"auto"};
+  spec.baselines = {"naive"};
+  spec.target_outputs = 64;
+  const auto result = Experiment(spec).run(1);
+
+  std::ostringstream csv;
+  result.write_csv(csv);
+  const std::string csv_text = csv.str();
+  // Header + one line per cell.
+  std::size_t lines = 0;
+  for (const char c : csv_text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1 + result.cells.size());
+  EXPECT_NE(csv_text.find("workload,cache_words"), std::string::npos);
+  EXPECT_NE(csv_text.find("uniform-pipeline"), std::string::npos);
+  EXPECT_NE(csv_text.find("baseline"), std::string::npos);
+
+  std::ostringstream json;
+  result.write_json(json);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"cells\": ["), std::string::npos);
+  EXPECT_NE(json_text.find("\"workload\": \"uniform-pipeline\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"misses\": "), std::string::npos);
+  EXPECT_EQ(json_text.find("\"error\""), std::string::npos);  // all cells ok
+}
+
+}  // namespace
+}  // namespace ccs::core

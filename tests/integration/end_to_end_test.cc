@@ -114,7 +114,7 @@ TEST(EndToEnd, HomogeneousDagPartitionedVsNaive) {
   core::PlannerOptions opts;
   opts.cache.capacity_words = 512;
   opts.cache.block_words = 8;
-  opts.partitioner = core::PartitionerKind::kDagRefined;
+  opts.partitioner = "dag-refined";
   const auto plan = core::plan(g, opts);
   const auto naive = schedule::naive_minimal_buffer_schedule(g);
 
@@ -142,7 +142,7 @@ TEST(EndToEnd, SetAssociativeCacheShowsSameOrdering) {
     runtime::RunResult total;
     const auto rounds = schedule::periods_for_outputs(s, 2048);
     for (std::int64_t i = 0; i < rounds; ++i) {
-      total = core::merge(std::move(total), engine.run(s.period));
+      total += engine.run(s.period);
     }
     return total;
   };

@@ -169,5 +169,45 @@ TEST(Engine, StateFootprintReported) {
   EXPECT_EQ(engine.state_footprint(), 500);
 }
 
+TEST(Engine, RebindCacheReproducesAFreshEngineExactly) {
+  // The pool-reuse hook: after rebind_cache to a cold cache, a reused
+  // engine must be indistinguishable counter-for-counter from a newly
+  // constructed one. The pipeline's state (500 words) overflows the
+  // 256-word cache so the sequence has nontrivial miss structure.
+  const auto g = ccs::workloads::uniform_pipeline(5, 100);
+  const auto caps = sdf::feasible_buffers(g);
+  std::vector<NodeId> seq;
+  for (int round = 0; round < 4; ++round) {
+    for (NodeId v = 0; v < g.node_count(); ++v) seq.push_back(v);
+  }
+
+  LruCache first_cache(CacheConfig{256, 8});
+  Engine engine(g, caps, first_cache);
+  const RunResult fresh = engine.run(seq);
+  EXPECT_GT(fresh.cache.misses, 0);
+
+  LruCache second_cache(CacheConfig{256, 8});
+  engine.rebind_cache(second_cache);
+  EXPECT_TRUE(engine.drained());
+  EXPECT_EQ(engine.fired(0), 0);
+  const RunResult reused = engine.run(seq);
+
+  // Named fields first for readable failures, then the exhaustive
+  // defaulted operator== (covers counters added later too).
+  EXPECT_EQ(reused.cache.misses, fresh.cache.misses);
+  EXPECT_EQ(reused.cache.writebacks, fresh.cache.writebacks);
+  EXPECT_EQ(reused.state_misses, fresh.state_misses);
+  EXPECT_EQ(reused.node_misses, fresh.node_misses);
+  EXPECT_TRUE(reused == fresh);
+}
+
+TEST(Engine, RebindCacheRequiresMatchingBlockSize) {
+  const auto g = two_stage();
+  LruCache cache(CacheConfig{1024, 8});
+  Engine engine(g, {4}, cache);
+  LruCache other_block(CacheConfig{1024, 16});
+  EXPECT_THROW(engine.rebind_cache(other_block), ContractViolation);
+}
+
 }  // namespace
 }  // namespace ccs::runtime

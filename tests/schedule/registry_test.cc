@@ -1,0 +1,68 @@
+#include "schedule/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "schedule/naive.h"
+#include "schedule/validate.h"
+#include "util/error.h"
+#include "workloads/pipelines.h"
+#include "workloads/streamit.h"
+
+namespace ccs::schedule {
+namespace {
+
+TEST(SchedulerRegistry, BuiltinsBuildValidSchedules) {
+  const auto g = workloads::uniform_pipeline(8, 100);
+  const SchedulerContext ctx{1024, 8};
+  auto& r = Registry::global();
+  const auto keys = r.applicable_keys(g, ctx);
+  EXPECT_EQ(keys.size(), r.keys().size());  // all apply to a pipeline
+  for (const auto& name : keys) {
+    const auto s = r.build(name, g, ctx);
+    const auto report = check_schedule(g, s);
+    EXPECT_TRUE(report.ok) << name << ": " << report.problem;
+  }
+}
+
+TEST(SchedulerRegistry, KohliIsPipelineOnly) {
+  const auto dag = workloads::fm_radio(6);
+  const SchedulerContext ctx{1024, 8};
+  auto& r = Registry::global();
+  const auto keys = r.applicable_keys(dag, ctx);
+  for (const auto& key : keys) EXPECT_NE(key, "kohli");
+  EXPECT_EQ(keys.size(), r.keys().size() - 1);
+  // An explicit request still runs (and throws the scheduler's own error).
+  EXPECT_THROW(r.build("kohli", dag, ctx), GraphError);
+}
+
+TEST(SchedulerRegistry, UnknownKeyErrorListsValidKeys) {
+  const auto g = workloads::uniform_pipeline(4, 50);
+  try {
+    Registry::global().build("bogus", g, SchedulerContext{});
+    FAIL() << "expected ccs::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown scheduler 'bogus'"), std::string::npos) << what;
+    EXPECT_NE(what.find("naive"), std::string::npos) << what;
+    EXPECT_NE(what.find("scaled"), std::string::npos) << what;
+  }
+}
+
+TEST(SchedulerRegistry, DuplicateAndCustomRegistration) {
+  Registry r;
+  register_builtin_schedulers(r);
+  EXPECT_THROW(register_builtin_schedulers(r), Error);
+
+  // A custom scheduler registered under a fresh key round-trips.
+  r.add("naive-again", {[](const sdf::SdfGraph& g, const SchedulerContext&) {
+                          return naive_minimal_buffer_schedule(g);
+                        },
+                        nullptr, "alias of naive"});
+  const auto g = workloads::uniform_pipeline(6, 80);
+  const auto s = r.build("naive-again", g, SchedulerContext{512, 8});
+  EXPECT_TRUE(check_schedule(g, s).ok);
+  EXPECT_FALSE(Registry::global().contains("naive-again"));
+}
+
+}  // namespace
+}  // namespace ccs::schedule
