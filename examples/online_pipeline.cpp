@@ -1,34 +1,48 @@
-// Online (dynamic) pipeline scheduling: the half-full/half-empty rule from
-// Section 3 of the paper, where no output count is fixed in advance.
+// Online (dynamic) pipeline scheduling through a true streaming session:
+// the half-full/half-empty rule from Section 3 of the paper, driven by live
+// arrivals through core::Stream instead of a materialized firing list.
 //
 //   $ ./online_pipeline [--stages=16] [--state=300] [--cache-words=1024]
+//                       [--arrival=steady-16] [--outputs=8192]
 //
-// Demonstrates: the dynamic scheduler, its equivalence in cost to the static
-// batch scheduler (Section 4's "Producing an optimal dynamic schedule"), and
-// the buffer sizing that makes some component always schedulable.
+// Demonstrates: the Stream push/step/drain session, arrival-pattern driving
+// with backpressure, and the Section 4 equivalence -- the online session
+// lands within a constant factor of the static batch schedule. Both sides
+// of the comparison execute on the SAME cache geometry (sim-words, default
+// 4*M: the paper's constant-factor augmentation regime), so the numbers are
+// directly comparable.
 
+#include <algorithm>
 #include <iostream>
 
 #include "core/planner.h"
 #include "core/scheduler.h"
-#include "schedule/dynamic.h"
+#include "core/stream.h"
 #include "util/args.h"
 #include "util/table.h"
+#include "workloads/arrivals.h"
 #include "workloads/pipelines.h"
 
 int main(int argc, char** argv) {
   using namespace ccs;
-  ArgParser args("online_pipeline", "static batch vs dynamic scheduling of one pipeline");
+  ArgParser args("online_pipeline", "static batch vs online Stream serving of one pipeline");
   args.add_int("stages", 16, "pipeline length");
   args.add_int("state", 300, "words of state per module");
-  args.add_int("cache-words", 1024, "cache size M in words");
-  args.add_int("outputs", 8192, "sink firings to simulate");
+  args.add_int("cache-words", 1024, "cache size M in words the plan targets");
+  args.add_int("sim-words", 0, "cache words to simulate on (0 = 4*M, Theorem 5's regime)");
+  args.add_int("outputs", 8192, "items to serve");
+  args.add_string("arrival", "bursty-1024",
+                  "arrival pattern (workloads::ArrivalRegistry key); Theta(M)-sized "
+                  "bursts let component loads amortize, thin patterns (steady-16) "
+                  "show the granularity cost");
   try {
     if (!args.parse(argc, argv)) return 0;
     const auto g = workloads::uniform_pipeline(
         static_cast<std::int32_t>(args.get_int("stages")), args.get_int("state"));
     const std::int64_t m = args.get_int("cache-words");
     const std::int64_t outputs = args.get_int("outputs");
+    const std::int64_t sim_words =
+        args.get_int("sim-words") > 0 ? args.get_int("sim-words") : 4 * m;
 
     core::PlannerOptions opts;
     opts.cache.capacity_words = m;
@@ -39,24 +53,58 @@ int main(int argc, char** argv) {
               << "optimal partition: " << plan.partition.num_components
               << " segments, bandwidth " << plan.partition_bandwidth << "\n\n";
 
-    const auto& batch = plan.schedule;
-    const auto dynamic = schedule::dynamic_pipeline_schedule(g, plan.partition, m, outputs);
+    // One labeled measurement geometry for BOTH sides of the comparison.
+    const iomodel::CacheConfig sim{sim_words, 8};
+    std::cout << "measurement cache: " << sim.capacity_words << " words ("
+              << (args.get_int("sim-words") > 0 ? "explicit" : "4*M augmentation")
+              << "), plan M = " << m << "\n\n";
 
-    const iomodel::CacheConfig sim{4 * m, 8};
-    const auto r_batch = core::simulate(g, batch, sim, outputs);
-    const auto r_dyn = core::simulate(g, dynamic, sim, outputs);
+    // Batch side: materialized schedule, replayed by core::simulate.
+    const auto r_batch = core::simulate(g, plan.schedule, sim, outputs);
 
-    Table t("static batch vs dynamic (M=" + std::to_string(m) + ", " +
-            std::to_string(outputs) + " outputs)");
-    t.set_header({"scheduler", "buffer words", "misses", "misses/output"});
+    // Online side: a Stream session over the same partition, fed by a real
+    // arrival pattern, stepping only when something is schedulable.
+    iomodel::LruCache stream_cache(sim);
+    core::StreamOptions sopts;
+    sopts.max_pending_inputs = 8 * m;  // bounded ingress queue
+    core::Stream stream(g, plan.partition, stream_cache, m, sopts);
+    const auto arrival = workloads::ArrivalRegistry::global().build(args.get_string("arrival"));
+
+    std::int64_t tick = 0;
+    std::int64_t arrived = 0;
+    std::int64_t refused = 0;
+    while (arrived < outputs) {
+      const std::int64_t want = std::min(arrival(tick), outputs - arrived);
+      const std::int64_t accepted = stream.push(want);
+      refused += want - accepted;
+      arrived += accepted;
+      stream.run_until_idle();
+      ++tick;
+    }
+    stream.drain();
+
+    Table t("static batch vs online session (same cache, " + std::to_string(outputs) +
+            " items)");
+    t.set_header({"execution", "buffer words", "misses", "misses/output"});
     t.set_align({Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
-    t.add_row({batch.name, Table::num(batch.total_buffer_words()),
-               Table::num(r_batch.cache.misses), Table::num(r_batch.misses_per_output(), 3)});
-    t.add_row({dynamic.name, Table::num(dynamic.total_buffer_words()),
-               Table::num(r_dyn.cache.misses), Table::num(r_dyn.misses_per_output(), 3)});
+    t.add_row({plan.schedule.name, Table::num(plan.schedule.total_buffer_words()),
+               Table::num(r_batch.cache.misses),
+               Table::num(r_batch.misses_per_output(), 3)});
+    std::int64_t stream_buffers = 0;
+    for (const auto c : stream.policy().buffer_caps()) stream_buffers += c;
+    t.add_row({"stream/" + std::string(stream.policy().name()),
+               Table::num(stream_buffers), Table::num(stream.stats().cache.misses),
+               Table::num(stream.stats().misses_per_output(), 3)});
     t.print(std::cout);
-    std::cout << "\nThe dynamic schedule needs no a-priori output count yet lands within a\n"
-                 "constant factor of the batch schedule, as Section 4 predicts.\n";
+    std::cout << "\nserved " << stream.outputs_produced() << " outputs over " << tick
+              << " ticks (" << stream.steps() << " component executions, " << refused
+              << " arrivals briefly refused by backpressure)\n"
+              << "With Theta(M)-sized arrival bursts the online session fixes no output\n"
+                 "count in advance yet lands within a constant factor of the batch\n"
+                 "schedule, as Section 4 predicts. Thinner arrivals (try\n"
+                 "--arrival=steady-16) amortize each component load over fewer items\n"
+                 "and pay proportionally more misses -- the granularity cost the\n"
+                 "paper's infinite-input idealization hides.\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

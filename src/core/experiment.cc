@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -9,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/server.h"
 #include "iomodel/cache.h"
 #include "schedule/schedule.h"
 #include "util/error.h"
@@ -65,33 +67,64 @@ struct Experiment::Coordinate {
   iomodel::CacheConfig cache;
   std::string strategy;
   bool is_baseline = false;
+  bool is_online = false;
+  std::string arrival;
+  std::int32_t tenants = 0;
   std::int64_t t_multiplier = 1;
 };
 
 Experiment::Experiment(SweepSpec spec, const workloads::Registry* workload_registry,
                        const partition::Registry* partitioner_registry,
-                       const schedule::Registry* scheduler_registry)
+                       const schedule::Registry* scheduler_registry,
+                       const workloads::ArrivalRegistry* arrival_registry)
     : spec_(std::move(spec)),
       workloads_(workload_registry != nullptr ? workload_registry
                                               : &workloads::Registry::global()),
       partitioners_(partitioner_registry != nullptr ? partitioner_registry
                                                     : &partition::Registry::global()),
       schedulers_(scheduler_registry != nullptr ? scheduler_registry
-                                                : &schedule::Registry::global()) {}
+                                                : &schedule::Registry::global()),
+      arrivals_(arrival_registry != nullptr ? arrival_registry
+                                            : &workloads::ArrivalRegistry::global()) {}
 
 std::vector<Experiment::Coordinate> Experiment::enumerate() const {
   std::vector<Coordinate> out;
   const std::vector<std::int64_t> t_mults =
       spec_.t_multipliers.empty() ? std::vector<std::int64_t>{1} : spec_.t_multipliers;
+  const std::vector<std::int32_t> tenant_counts = spec_.online.tenant_counts.empty()
+                                                      ? std::vector<std::int32_t>{1}
+                                                      : spec_.online.tenant_counts;
   for (const std::string& workload : spec_.workloads) {
     for (const iomodel::CacheConfig& cache : spec_.caches) {
       for (const std::string& partitioner : spec_.partitioners) {
         for (const std::int64_t t : t_mults) {
-          out.push_back({workload, cache, partitioner, /*is_baseline=*/false, t});
+          Coordinate at;
+          at.workload = workload;
+          at.cache = cache;
+          at.strategy = partitioner;
+          at.t_multiplier = t;
+          out.push_back(std::move(at));
         }
       }
       for (const std::string& baseline : spec_.baselines) {
-        out.push_back({workload, cache, baseline, /*is_baseline=*/true, 1});
+        Coordinate at;
+        at.workload = workload;
+        at.cache = cache;
+        at.strategy = baseline;
+        at.is_baseline = true;
+        out.push_back(std::move(at));
+      }
+      for (const std::string& arrival : spec_.online.arrivals) {
+        for (const std::int32_t tenants : tenant_counts) {
+          Coordinate at;
+          at.workload = workload;
+          at.cache = cache;
+          at.strategy = spec_.online.online_policy;
+          at.is_online = true;
+          at.arrival = arrival;
+          at.tenants = tenants;
+          out.push_back(std::move(at));
+        }
       }
     }
   }
@@ -106,8 +139,18 @@ CellResult Experiment::run_cell(const Coordinate& at) const {
   cell.cache = at.cache;
   cell.strategy = at.strategy;
   cell.is_baseline = at.is_baseline;
+  cell.is_online = at.is_online;
+  cell.arrival = at.arrival;
+  cell.tenants = at.tenants;
   cell.t_multiplier = at.t_multiplier;
   try {
+    if (at.is_online) {
+      run_online_cell(at, cell);
+      cell.misses_per_input = cell.run.misses_per_input();
+      cell.misses_per_output = cell.run.misses_per_output();
+      cell.ok = true;
+      return cell;
+    }
     const sdf::SdfGraph graph = workloads_->build(at.workload);
 
     schedule::Schedule sched;
@@ -180,13 +223,96 @@ CellResult Experiment::run_cell(const Coordinate& at) const {
   return cell;
 }
 
+void Experiment::run_online_cell(const Coordinate& at, CellResult& cell) const {
+  const sdf::SdfGraph graph = workloads_->build(at.workload);
+
+  // Plan once with the "auto" partitioner; every tenant serves this plan.
+  PlannerOptions opts;
+  opts.cache = at.cache;
+  opts.c_bound = spec_.c_bound;
+  opts.partitioner = "auto";
+  opts.exact_max_nodes = spec_.exact_max_nodes;
+  opts.seed = spec_.seed;
+  const Planner planner(graph, opts, partitioners_);
+  const Plan plan = planner.plan();
+  cell.resolved_strategy = at.strategy == "auto"
+                               ? schedule::resolve_auto_policy(graph)
+                               : at.strategy;
+  cell.components = plan.partition.num_components;
+  cell.bandwidth = plan.partition_bandwidth.to_double();
+  cell.schedule_name = "online:" + cell.resolved_strategy;
+
+  // Tenants share one augmented cache (same regime as the batch cells) but
+  // size their Theta(M) cross buffers for the planned M, not the shared
+  // capacity.
+  iomodel::CacheConfig sim = at.cache;
+  sim.capacity_words = std::max<std::int64_t>(
+      at.cache.block_words,
+      static_cast<std::int64_t>(std::llround(spec_.sim_capacity_factor *
+                                             static_cast<double>(at.cache.capacity_words))));
+  validate_cache_geometry(sim);
+
+  const workloads::ArrivalPattern pattern = arrivals_->build(at.arrival);
+  std::int64_t buffer_words = 0;  // per-tenant budget under the online rule
+  const auto measure = [&]() {
+    ServerOptions server_opts;
+    server_opts.cache = sim;
+    server_opts.tenant_policy = spec_.online.tenant_policy;
+    Server server(server_opts);
+    StreamOptions stream_opts;
+    stream_opts.policy = at.strategy;
+    stream_opts.engine = spec_.engine;
+    for (std::int32_t t = 0; t < at.tenants; ++t) {
+      server.admit("tenant-" + std::to_string(t), graph, plan.partition, stream_opts,
+                   at.cache.capacity_words);
+    }
+    if (server.tenant_count() > 0) {
+      buffer_words = 0;
+      for (const std::int64_t cap : server.stream(0).policy().buffer_caps()) {
+        buffer_words += cap;
+      }
+    }
+    for (std::int64_t tick = 0; tick < spec_.online.ticks; ++tick) {
+      const std::int64_t items = pattern(tick);
+      for (TenantId t = 0; t < server.tenant_count(); ++t) server.push(t, items);
+      server.run_until_idle();
+    }
+    server.drain_all();
+    return server.report();
+  };
+
+  ServerReport report = measure();
+  for (std::int32_t rep = 1; rep < spec_.repetitions; ++rep) {
+    const ServerReport again = measure();
+    bool identical = again.aggregate == report.aggregate &&
+                     again.tenants.size() == report.tenants.size();
+    for (std::size_t i = 0; identical && i < report.tenants.size(); ++i) {
+      identical = again.tenants[i].totals == report.tenants[i].totals;
+    }
+    if (!identical) {
+      throw Error("repetition " + std::to_string(rep) +
+                  " diverged from the first measurement (nondeterministic tenant "
+                  "policy or runtime)");
+    }
+  }
+  cell.run = report.aggregate;
+  cell.server_steps = report.steps;
+  cell.buffer_words = buffer_words;
+}
+
 ExperimentResult Experiment::run(std::int32_t threads) const {
   if (spec_.workloads.empty()) throw Error("sweep spec lists no workloads");
   if (spec_.caches.empty()) throw Error("sweep spec lists no cache geometries");
-  if (spec_.partitioners.empty() && spec_.baselines.empty()) {
-    throw Error("sweep spec lists no partitioners and no baseline schedulers");
+  if (spec_.partitioners.empty() && spec_.baselines.empty() &&
+      spec_.online.arrivals.empty()) {
+    throw Error(
+        "sweep spec lists no partitioners, no baseline schedulers, and no "
+        "online arrival patterns");
   }
   if (spec_.repetitions < 1) throw Error("sweep spec needs repetitions >= 1");
+  if (!spec_.online.arrivals.empty() && spec_.online.ticks < 1) {
+    throw Error("online sweep needs ticks >= 1");
+  }
 
   const std::vector<Coordinate> grid = enumerate();
   ExperimentResult result;
@@ -227,14 +353,16 @@ std::size_t ExperimentResult::failed_cells() const {
 }
 
 void ExperimentResult::write_csv(std::ostream& os) const {
-  os << "workload,cache_words,block_words,strategy,kind,t_multiplier,ok,resolved,"
-        "components,batch_t,bandwidth,predicted_misses_per_input,schedule,buffer_words,"
-        "accesses,misses,writebacks,firings,source_firings,sink_firings,state_misses,"
-        "channel_misses,io_misses,misses_per_input,misses_per_output,error\n";
+  os << "workload,cache_words,block_words,strategy,kind,arrival,tenants,t_multiplier,ok,"
+        "resolved,components,batch_t,bandwidth,predicted_misses_per_input,schedule,"
+        "buffer_words,accesses,misses,writebacks,firings,source_firings,sink_firings,"
+        "state_misses,channel_misses,io_misses,misses_per_input,misses_per_output,"
+        "server_steps,error\n";
   for (const CellResult& c : cells) {
     os << csv_escape(c.workload) << ',' << c.cache.capacity_words << ','
        << c.cache.block_words << ',' << csv_escape(c.strategy) << ','
-       << (c.is_baseline ? "baseline" : "partitioned") << ',' << c.t_multiplier << ','
+       << (c.is_online ? "online" : c.is_baseline ? "baseline" : "partitioned") << ','
+       << csv_escape(c.arrival) << ',' << c.tenants << ',' << c.t_multiplier << ','
        << (c.ok ? 1 : 0) << ',' << csv_escape(c.resolved_strategy) << ',' << c.components
        << ',' << c.batch_t << ',' << fmt_double(c.bandwidth) << ','
        << fmt_double(c.predicted_misses_per_input) << ',' << csv_escape(c.schedule_name)
@@ -243,7 +371,7 @@ void ExperimentResult::write_csv(std::ostream& os) const {
        << c.run.source_firings << ',' << c.run.sink_firings << ',' << c.run.state_misses
        << ',' << c.run.channel_misses << ',' << c.run.io_misses << ','
        << fmt_double(c.misses_per_input) << ',' << fmt_double(c.misses_per_output) << ','
-       << csv_escape(c.error) << '\n';
+       << c.server_steps << ',' << csv_escape(c.error) << '\n';
   }
 }
 
@@ -257,8 +385,13 @@ void ExperimentResult::write_json(std::ostream& os) const {
        << ", \"cache_words\": " << c.cache.capacity_words
        << ", \"block_words\": " << c.cache.block_words
        << ", \"strategy\": \"" << json_escape(c.strategy) << "\""
-       << ", \"kind\": \"" << (c.is_baseline ? "baseline" : "partitioned") << "\""
-       << ", \"t_multiplier\": " << c.t_multiplier
+       << ", \"kind\": \""
+       << (c.is_online ? "online" : c.is_baseline ? "baseline" : "partitioned") << "\"";
+    if (c.is_online) {
+      os << ", \"arrival\": \"" << json_escape(c.arrival) << "\""
+         << ", \"tenants\": " << c.tenants << ", \"server_steps\": " << c.server_steps;
+    }
+    os << ", \"t_multiplier\": " << c.t_multiplier
        << ", \"ok\": " << (c.ok ? "true" : "false");
     if (c.ok) {
       os << ", \"resolved\": \"" << json_escape(c.resolved_strategy) << "\""

@@ -34,19 +34,34 @@
 #include "runtime/engine.h"
 #include "runtime/run_result.h"
 #include "schedule/registry.h"
+#include "workloads/arrivals.h"
 #include "workloads/registry.h"
 
 namespace ccs::core {
 
+/// The online-serving slice of a sweep: arrival patterns x tenant counts,
+/// each cell a multi-tenant core::Server scenario (N identical tenants of
+/// the workload on one shared cache, fed by the pattern for `ticks` ticks,
+/// then drained). Empty `arrivals` disables online cells.
+struct OnlineSweep {
+  std::vector<std::string> arrivals;        ///< workloads::ArrivalRegistry keys.
+  std::vector<std::int32_t> tenant_counts{1};
+  std::string tenant_policy = "round-robin";  ///< core::TenantRegistry key.
+  std::string online_policy = "auto";         ///< schedule::OnlineRegistry key.
+  std::int64_t ticks = 128;                   ///< Pushes per tenant.
+};
+
 /// The sweep grid, by registry keys. Cells are enumerated workload-major:
 /// for each workload, for each cache, every partitioner at every
 /// t_multiplier, then every baseline scheduler (baselines have no batch
-/// parameter, so they run once per cache).
+/// parameter, so they run once per cache), then every online cell (arrival
+/// pattern x tenant count).
 struct SweepSpec {
   std::vector<std::string> workloads;      ///< workloads::Registry keys.
   std::vector<iomodel::CacheConfig> caches;
   std::vector<std::string> partitioners;   ///< partition::Registry keys or "auto".
   std::vector<std::string> baselines;      ///< schedule::Registry keys (optional).
+  OnlineSweep online;                      ///< Online-serving cells (optional).
   std::vector<std::int64_t> t_multipliers{1};
 
   double c_bound = 3.0;                ///< Planner state bound (c * M).
@@ -76,7 +91,10 @@ struct CellResult {
   iomodel::CacheConfig cache;
   std::string strategy;             ///< Partitioner key or baseline scheduler key.
   bool is_baseline = false;         ///< True: strategy names a baseline scheduler.
-  std::int64_t t_multiplier = 1;    ///< Always 1 for baselines.
+  bool is_online = false;           ///< True: an online multi-tenant serving cell.
+  std::string arrival;              ///< Arrival-pattern key (online cells only).
+  std::int32_t tenants = 0;         ///< Tenant count (online cells only).
+  std::int64_t t_multiplier = 1;    ///< Always 1 for baselines and online cells.
 
   // -- outcome --
   bool ok = false;
@@ -92,9 +110,11 @@ struct CellResult {
   // -- measurement --
   std::string schedule_name;
   std::int64_t buffer_words = 0;
-  runtime::RunResult run;           ///< Accumulated counters.
+  runtime::RunResult run;           ///< Accumulated counters (online cells:
+                                    ///< the shared-cache aggregate).
   double misses_per_input = 0.0;
   double misses_per_output = 0.0;
+  std::int64_t server_steps = 0;    ///< Multiplexing decisions (online cells).
 };
 
 /// Structured sweep output.
@@ -123,7 +143,8 @@ class Experiment {
   explicit Experiment(SweepSpec spec,
                       const workloads::Registry* workload_registry = nullptr,
                       const partition::Registry* partitioner_registry = nullptr,
-                      const schedule::Registry* scheduler_registry = nullptr);
+                      const schedule::Registry* scheduler_registry = nullptr,
+                      const workloads::ArrivalRegistry* arrival_registry = nullptr);
 
   const SweepSpec& spec() const noexcept { return spec_; }
 
@@ -141,11 +162,13 @@ class Experiment {
 
   std::vector<Coordinate> enumerate() const;
   CellResult run_cell(const Coordinate& at) const;
+  void run_online_cell(const Coordinate& at, CellResult& cell) const;
 
   SweepSpec spec_;
   const workloads::Registry* workloads_;
   const partition::Registry* partitioners_;
   const schedule::Registry* schedulers_;
+  const workloads::ArrivalRegistry* arrivals_;
 };
 
 }  // namespace ccs::core

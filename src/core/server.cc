@@ -1,0 +1,198 @@
+#include "core/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace ccs::core {
+
+namespace {
+
+/// Fair timesharing: rotate through runnable tenants in id order, resuming
+/// after the last pick.
+class RoundRobinPolicy final : public TenantPolicy {
+ public:
+  TenantId pick(const std::vector<TenantStatus>& runnable) override {
+    // First runnable id strictly greater than the last pick, else wrap.
+    const TenantStatus* best = nullptr;
+    const TenantStatus* lowest = nullptr;
+    for (const TenantStatus& t : runnable) {
+      if (lowest == nullptr || t.id < lowest->id) lowest = &t;
+      if (t.id > last_ && (best == nullptr || t.id < best->id)) best = &t;
+    }
+    last_ = (best != nullptr ? best : lowest)->id;
+    return last_;
+  }
+
+ private:
+  TenantId last_ = kNoTenant;
+};
+
+/// Cache affinity: keep running the tenant whose last step missed least per
+/// firing (its working set is the one currently resident), ties broken by
+/// lowest id so the rule is deterministic.
+class MissAwarePolicy final : public TenantPolicy {
+ public:
+  TenantId pick(const std::vector<TenantStatus>& runnable) override {
+    const TenantStatus* best = nullptr;
+    for (const TenantStatus& t : runnable) {
+      if (best == nullptr || t.last_miss_rate < best->last_miss_rate ||
+          (t.last_miss_rate == best->last_miss_rate && t.id < best->id)) {
+        best = &t;
+      }
+    }
+    return best->id;
+  }
+};
+
+}  // namespace
+
+TenantRegistry& TenantRegistry::global() {
+  static TenantRegistry instance;
+  static const bool initialized = (register_builtin_tenant_policies(instance), true);
+  (void)initialized;
+  return instance;
+}
+
+void register_builtin_tenant_policies(TenantRegistry& r) {
+  r.add("round-robin", {[] { return std::make_unique<RoundRobinPolicy>(); },
+                        "fair timesharing: rotate through runnable tenants in id order"});
+  r.add("miss-aware", {[] { return std::make_unique<MissAwarePolicy>(); },
+                       "cache affinity: prefer the tenant whose last step missed least "
+                       "per firing"});
+}
+
+Server::Server(ServerOptions options, const TenantRegistry* registry)
+    : options_(std::move(options)) {
+  validate_cache_geometry(options_.cache);
+  const TenantRegistry& reg = registry != nullptr ? *registry : TenantRegistry::global();
+  policy_ = reg.find(options_.tenant_policy).build();
+  cache_ = std::make_unique<iomodel::LruCache>(options_.cache);
+  baseline_ = cache_->stats();
+}
+
+TenantId Server::admit(std::string name, const sdf::SdfGraph& g,
+                       const partition::Partition& p, StreamOptions options,
+                       std::int64_t m) {
+  CCS_EXPECTS(!name.empty(), "tenant name must be non-empty");
+  CCS_EXPECTS(m >= 0, "tenant cache share must be non-negative");
+  for (const Tenant& t : tenants_) {
+    if (t.name == name) throw Error("tenant '" + name + "' is already admitted");
+  }
+  // Each tenant gets its own 2^36-word band of the simulated address space:
+  // co-resident programs must *contend* for cache blocks, not alias them.
+  // The bands below the engine's external-stream regions bound the fleet.
+  if (tenants_.size() >= 16) {
+    throw Error("server is full: at most 16 tenants per shared cache");
+  }
+  options.engine.address_base =
+      static_cast<std::int64_t>(tenants_.size()) * (std::int64_t{1} << 36);
+  Tenant t;
+  t.name = std::move(name);
+  t.stream = std::make_unique<Stream>(
+      g, p, *cache_, m > 0 ? m : options_.cache.capacity_words, std::move(options));
+  tenants_.push_back(std::move(t));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+TenantId Server::admit(std::string name, const Planner& planner, const Plan& plan,
+                       StreamOptions options) {
+  return admit(std::move(name), planner.graph(), plan.partition, std::move(options));
+}
+
+Server::Tenant& Server::tenant(TenantId id) {
+  CCS_EXPECTS(id >= 0 && id < tenant_count(), "tenant id out of range");
+  return tenants_[static_cast<std::size_t>(id)];
+}
+
+const Server::Tenant& Server::tenant(TenantId id) const {
+  CCS_EXPECTS(id >= 0 && id < tenant_count(), "tenant id out of range");
+  return tenants_[static_cast<std::size_t>(id)];
+}
+
+Stream& Server::stream(TenantId id) { return *tenant(id).stream; }
+
+const Stream& Server::stream(TenantId id) const { return *tenant(id).stream; }
+
+const std::string& Server::tenant_name(TenantId id) const { return tenant(id).name; }
+
+std::int64_t Server::push(TenantId id, std::int64_t items) {
+  Tenant& t = tenant(id);
+  const std::int64_t accepted = t.stream->push(items);
+  if (accepted > 0) t.idle = false;  // new arrivals may unblock the session
+  return accepted;
+}
+
+TenantId Server::step() {
+  // Offer every not-known-idle tenant; a pick that turns out blocked is
+  // marked idle and the offer repeats, so one step() call either progresses
+  // some tenant or proves the whole server idle.
+  std::vector<TenantStatus> runnable;
+  runnable.reserve(tenants_.size());
+  for (;;) {
+    runnable.clear();
+    for (TenantId id = 0; id < tenant_count(); ++id) {
+      const Tenant& t = tenants_[static_cast<std::size_t>(id)];
+      if (t.idle) continue;
+      TenantStatus s;
+      s.id = id;
+      s.pending_inputs = t.stream->pending_inputs();
+      s.outputs = t.stream->outputs_produced();
+      s.steps = t.stream->steps();
+      s.last_miss_rate = t.last_miss_rate;
+      runnable.push_back(s);
+    }
+    if (runnable.empty()) return kNoTenant;
+
+    const TenantId id = policy_->pick(runnable);
+    CCS_CHECK(id >= 0 && id < tenant_count(), "tenant policy picked an invalid id");
+    Tenant& t = tenants_[static_cast<std::size_t>(id)];
+    const StepResult r = t.stream->step();
+    if (!r.progressed()) {
+      t.idle = true;
+      continue;
+    }
+    t.last_miss_rate = r.run.firings > 0 ? static_cast<double>(r.run.cache.misses) /
+                                               static_cast<double>(r.run.firings)
+                                         : 0.0;
+    ++steps_;
+    return id;
+  }
+}
+
+std::int64_t Server::run_until_idle() {
+  std::int64_t executed = 0;
+  while (step() != kNoTenant) ++executed;
+  return executed;
+}
+
+void Server::drain_all() {
+  for (Tenant& t : tenants_) {
+    t.stream->drain();
+    t.idle = true;
+  }
+}
+
+ServerReport Server::report() const {
+  ServerReport report;
+  report.steps = steps_;
+  for (const Tenant& t : tenants_) {
+    TenantReport row;
+    row.name = t.name;
+    row.totals = t.stream->stats();
+    row.steps = t.stream->steps();
+    row.outputs = t.stream->outputs_produced();
+    report.aggregate += row.totals;
+    report.tenants.push_back(std::move(row));
+  }
+  const iomodel::CacheStats& now = cache_->stats();
+  report.shared_cache.accesses = now.accesses - baseline_.accesses;
+  report.shared_cache.hits = now.hits - baseline_.hits;
+  report.shared_cache.misses = now.misses - baseline_.misses;
+  report.shared_cache.writebacks = now.writebacks - baseline_.writebacks;
+  return report;
+}
+
+}  // namespace ccs::core

@@ -1,0 +1,185 @@
+// core::Server -- multi-tenant serving over one shared cache.
+//
+// The paper's cost model is about a *single* application owning the cache;
+// serving-scale reality is several streaming applications timesharing one.
+// A Server owns a shared CacheSim, admits multiple core::Stream sessions
+// onto it, and multiplexes their component executions with a pluggable
+// tenant policy -- round-robin (fair timesharing) or miss-aware (cache
+// affinity: prefer the tenant whose working set is resident). Every tenant
+// keeps its own RunResult, and because each cache access belongs to exactly
+// one tenant's step, the per-tenant counters always sum to the shared
+// cache's aggregate -- the interference between tenants shows up as each
+// tenant's misses rising above its solo baseline, which is the paper's
+// cache-contention story at serving scale.
+//
+//   core::ServerOptions sopts;
+//   sopts.cache = {64 * 1024, 8};
+//   core::Server server(sopts);
+//   const auto a = server.admit("radio", g1, plan1.partition);
+//   const auto b = server.admit("sort", g2, plan2.partition);
+//   server.push(a, 4096); server.push(b, 4096);
+//   server.run_until_idle();
+//   server.drain_all();
+//   for (const auto& t : server.report().tenants)
+//     std::cout << t.name << ": " << t.totals.misses_per_output() << "\n";
+//
+// Determinism: admission order, arrival pushes, and both built-in tenant
+// policies are deterministic, so repeated identical runs produce identical
+// per-tenant and aggregate counters (asserted in tests/core/server_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stream.h"
+#include "iomodel/cache.h"
+#include "iomodel/types.h"
+#include "runtime/run_result.h"
+#include "util/registry.h"
+
+namespace ccs::core {
+
+/// Dense tenant index within one Server. Valid ids are 0..tenant_count()-1.
+using TenantId = std::int32_t;
+
+inline constexpr TenantId kNoTenant = -1;
+
+/// What a tenant policy may consult about one tenant when picking who runs
+/// next. Only runnable tenants are offered.
+struct TenantStatus {
+  TenantId id = kNoTenant;
+  std::int64_t pending_inputs = 0;    ///< Arrivals waiting to be consumed.
+  std::int64_t outputs = 0;           ///< Sink firings so far.
+  std::int64_t steps = 0;             ///< Component executions so far.
+  double last_miss_rate = 0.0;        ///< Misses per firing of the last step.
+};
+
+/// A tenant-multiplexing rule. pick() must return one of the offered ids;
+/// policies may keep state (e.g. a rotation cursor) but must be
+/// deterministic -- the Server's repeat-run guarantee depends on it.
+class TenantPolicy {
+ public:
+  virtual ~TenantPolicy() = default;
+  virtual TenantId pick(const std::vector<TenantStatus>& runnable) = 0;
+};
+
+/// A named tenant-policy factory.
+struct TenantPolicyEntry {
+  std::function<std::unique_ptr<TenantPolicy>()> build;
+  std::string description;  ///< One-line description for listings.
+};
+
+/// String-keyed tenant-policy table ("round-robin", "miss-aware"). See
+/// util/registry.h for the shared add/find/keys semantics.
+class TenantRegistry : public NamedRegistry<TenantPolicyEntry> {
+ public:
+  TenantRegistry()
+      : NamedRegistry<TenantPolicyEntry>("tenant policy", "tenant policies") {}
+
+  /// The process-wide registry, seeded with the built-ins on first use.
+  static TenantRegistry& global();
+};
+
+/// Registers the built-in tenant policies into `r` (used by global();
+/// exposed so tests can build isolated registries): round-robin, miss-aware.
+void register_builtin_tenant_policies(TenantRegistry& r);
+
+/// Server knobs.
+struct ServerOptions {
+  iomodel::CacheConfig cache{64 * 1024, 8};  ///< Shared cache geometry.
+  std::string tenant_policy = "round-robin";  ///< TenantRegistry key.
+};
+
+/// One tenant's slice of a ServerReport.
+struct TenantReport {
+  std::string name;
+  runtime::RunResult totals;   ///< This tenant's whole-session counters.
+  std::int64_t steps = 0;      ///< Component executions granted.
+  std::int64_t outputs = 0;    ///< Sink firings produced.
+};
+
+/// Per-tenant and aggregate accounting of everything the server executed.
+struct ServerReport {
+  std::vector<TenantReport> tenants;   ///< Admission order.
+  runtime::RunResult aggregate;        ///< Sum over tenants.
+  iomodel::CacheStats shared_cache;    ///< Shared-cache deltas since admission
+                                       ///< began (== aggregate.cache).
+  std::int64_t steps = 0;              ///< Multiplexing decisions executed.
+};
+
+/// Multi-tenant streaming server: one shared cache, many Stream sessions,
+/// one multiplexing rule. Not thread-safe -- the shared cache makes tenant
+/// steps inherently serial (that is the contention being modeled).
+class Server {
+ public:
+  /// Throws MemoryError for a degenerate cache geometry and ccs::Error for
+  /// an unknown tenant-policy key. `registry` defaults to
+  /// TenantRegistry::global(); it must outlive the server.
+  explicit Server(ServerOptions options, const TenantRegistry* registry = nullptr);
+
+  /// Admits a new session over the shared cache and returns its id.
+  /// `options.policy` resolves through the online registry as usual. `m` is
+  /// the cache size the session's Theta(M) buffers amortize against; 0 (the
+  /// default) uses the shared cache's full capacity, a smaller value sizes
+  /// the tenant for its *share* of a contended cache.
+  TenantId admit(std::string name, const sdf::SdfGraph& g, const partition::Partition& p,
+                 StreamOptions options = {}, std::int64_t m = 0);
+
+  /// Convenience: admit a Planner plan (graph and partition from the plan's
+  /// session). The shared cache geometry still governs buffer sizing.
+  TenantId admit(std::string name, const Planner& planner, const Plan& plan,
+                 StreamOptions options = {});
+
+  std::int32_t tenant_count() const noexcept {
+    return static_cast<std::int32_t>(tenants_.size());
+  }
+
+  /// The tenant's session (for pushes, polls, or direct stepping).
+  Stream& stream(TenantId id);
+  const Stream& stream(TenantId id) const;
+
+  const std::string& tenant_name(TenantId id) const;
+
+  /// Forwards arrivals to tenant `id`; returns how many were accepted.
+  std::int64_t push(TenantId id, std::int64_t items);
+
+  /// One multiplexing decision: offers every possibly-runnable tenant to
+  /// the tenant policy, steps the pick, and returns who ran (kNoTenant if
+  /// every tenant is idle). A picked tenant that turns out to be blocked is
+  /// remembered as idle until new arrivals wake it.
+  TenantId step();
+
+  /// Steps until every tenant is idle; returns multiplexing decisions made.
+  std::int64_t run_until_idle();
+
+  /// Drains every tenant, in admission order.
+  void drain_all();
+
+  /// Per-tenant totals, their sum, and the shared cache's own counters.
+  ServerReport report() const;
+
+  iomodel::CacheSim& cache() noexcept { return *cache_; }
+
+ private:
+  struct Tenant {
+    std::string name;
+    std::unique_ptr<Stream> stream;
+    bool idle = false;           ///< Known-blocked until new arrivals.
+    double last_miss_rate = 0.0;
+  };
+
+  Tenant& tenant(TenantId id);
+  const Tenant& tenant(TenantId id) const;
+
+  ServerOptions options_;
+  std::unique_ptr<iomodel::CacheSim> cache_;
+  std::unique_ptr<TenantPolicy> policy_;
+  std::vector<Tenant> tenants_;
+  iomodel::CacheStats baseline_;  ///< Shared-cache stats at construction.
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace ccs::core

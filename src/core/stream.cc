@@ -1,0 +1,106 @@
+#include "core/stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace ccs::core {
+
+class Stream::EngineBackedView final : public schedule::EngineView {
+ public:
+  explicit EngineBackedView(const runtime::Engine& engine) : engine_(&engine) {}
+
+  std::int64_t tokens(sdf::EdgeId e) const override { return engine_->tokens(e); }
+  std::int64_t capacity(sdf::EdgeId e) const override {
+    return engine_->tokens(e) + engine_->space(e);
+  }
+  std::int64_t fired(sdf::NodeId v) const override { return engine_->fired(v); }
+  std::int64_t input_credit() const override { return engine_->input_credit(); }
+
+ private:
+  const runtime::Engine* engine_;
+};
+
+Stream::Stream(sdf::SdfGraph g, const partition::Partition& p, std::int64_t m,
+               std::unique_ptr<iomodel::CacheSim> owned, iomodel::CacheSim* shared,
+               StreamOptions options, const schedule::OnlineRegistry* registry)
+    : graph_(std::move(g)),
+      options_(std::move(options)),
+      owned_cache_(std::move(owned)),
+      cache_(owned_cache_ != nullptr ? owned_cache_.get() : shared) {
+  CCS_EXPECTS(options_.max_pending_inputs >= 0, "negative backpressure bound");
+  const schedule::OnlineRegistry& reg =
+      registry != nullptr ? *registry : schedule::OnlineRegistry::global();
+  schedule::OnlineContext ctx;
+  ctx.m = m;
+  policy_ = reg.build(options_.policy, graph_, p, ctx);
+  options_.engine.credit_input = true;  // a Stream is always metered
+  engine_ = std::make_unique<runtime::Engine>(graph_, policy_->buffer_caps(), *cache_,
+                                              options_.engine);
+  view_ = std::make_unique<EngineBackedView>(*engine_);
+}
+
+Stream::Stream(const sdf::SdfGraph& g, const partition::Partition& p,
+               const iomodel::CacheConfig& cache, StreamOptions options,
+               const schedule::OnlineRegistry* registry)
+    : Stream(g, p, cache.capacity_words,
+             (validate_cache_geometry(cache), std::make_unique<iomodel::LruCache>(cache)),
+             nullptr, std::move(options), registry) {}
+
+Stream::Stream(const sdf::SdfGraph& g, const partition::Partition& p,
+               iomodel::CacheSim& cache, std::int64_t m, StreamOptions options,
+               const schedule::OnlineRegistry* registry)
+    : Stream(g, p, m, nullptr, &cache, std::move(options), registry) {}
+
+Stream::Stream(const Planner& planner, const Plan& plan, StreamOptions options)
+    : Stream(planner.graph(), plan.partition, planner.options().cache,
+             std::move(options)) {}
+
+Stream::~Stream() = default;
+
+std::int64_t Stream::push(std::int64_t items) {
+  CCS_EXPECTS(items >= 0, "cannot push a negative number of items");
+  std::int64_t accepted = items;
+  if (options_.max_pending_inputs > 0) {
+    accepted = std::min(accepted,
+                        std::max<std::int64_t>(
+                            0, options_.max_pending_inputs - pending_inputs()));
+  }
+  engine_->push_input(accepted);
+  return accepted;
+}
+
+StepResult Stream::step() {
+  StepResult result;
+  schedule::StepPlan plan = policy_->next_step(*view_);
+  if (plan.idle()) return result;
+  result.component = plan.component;
+  // On a shared cache another tenant may have run since our last step; its
+  // traffic must not be attributed to this session's delta window.
+  engine_->resync_cache_baseline();
+  result.run = engine_->run(plan.firings);
+  totals_ += result.run;
+  ++steps_;
+  return result;
+}
+
+runtime::RunResult Stream::run_until_idle() {
+  runtime::RunResult total;
+  for (StepResult r = step(); r.progressed(); r = step()) total += r.run;
+  return total;
+}
+
+runtime::RunResult Stream::drain() {
+  const std::vector<sdf::NodeId> plan = policy_->plan_drain(*view_);
+  engine_->resync_cache_baseline();
+  runtime::RunResult result = engine_->run(plan);
+  totals_ += result;
+  return result;
+}
+
+std::int64_t Stream::inputs_consumed() const { return engine_->fired(policy_->source()); }
+
+std::int64_t Stream::outputs_produced() const { return engine_->fired(policy_->sink()); }
+
+}  // namespace ccs::core

@@ -1,0 +1,157 @@
+// core::Stream -- a true online streaming session.
+//
+// A Stream is the serving-side counterpart of a Planner plan: where the
+// batch path materializes a whole firing list and replays it, a Stream
+// executes *incrementally* against real arrivals. Items are pushed in as
+// they arrive (push), the session advances one schedulable component
+// execution at a time (step), and counters are polled live (stats) -- no
+// output count is fixed in advance, which is exactly the regime of the
+// paper's Section 3/4 dynamic rule. The decision rule is a pluggable
+// schedule::OnlinePolicy resolved by name, and execution happens on a
+// credit-metered runtime::Engine, so the source can never fire ahead of the
+// input that actually arrived.
+//
+//   core::Planner planner(graph, opts);
+//   core::Plan plan = planner.plan();
+//   core::Stream stream(planner, plan);        // owns a cache of opts.cache
+//   while (items_left) {
+//     stream.push(arrivals());                 // admit what arrived
+//     while (stream.step().progressed()) {}    // run whatever is schedulable
+//   }
+//   stream.drain();
+//   std::cout << stream.stats().misses_per_output() << "\n";
+//
+// Driven with the policy's own batch allowance, a Stream reproduces the
+// corresponding schedule::dynamic_*_schedule counters bit-identically (the
+// golden equivalence gate in tests/core/stream_test.cc). Streams sharing
+// one CacheSim model concurrent applications contending for a cache --
+// core::Server multiplexes them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/planner.h"
+#include "iomodel/cache.h"
+#include "iomodel/types.h"
+#include "runtime/engine.h"
+#include "runtime/run_result.h"
+#include "schedule/online.h"
+#include "sdf/graph.h"
+
+namespace ccs::core {
+
+/// Streaming-session knobs.
+struct StreamOptions {
+  /// schedule::OnlineRegistry key, or "auto" (pipeline rule for pipelines,
+  /// M-batch rule for homogeneous dags).
+  std::string policy = "auto";
+
+  /// Arrivals the session will hold un-consumed before push() starts
+  /// refusing items (the backpressure signal). 0 = unbounded queue.
+  std::int64_t max_pending_inputs = 0;
+
+  /// Engine knobs. credit_input is forced on -- a Stream is always metered.
+  runtime::EngineOptions engine;
+};
+
+/// What one step() did.
+struct StepResult {
+  /// Component the policy executed, or schedule::kNoComponent when the
+  /// session was idle (every component blocked on arrivals or space).
+  std::int64_t component = schedule::kNoComponent;
+
+  /// Counters of exactly this step (empty when idle).
+  runtime::RunResult run;
+
+  bool progressed() const noexcept { return component != schedule::kNoComponent; }
+};
+
+/// One online streaming session: graph + partition + online policy + a
+/// credit-metered engine. Self-contained (the graph is copied); not
+/// thread-safe -- one session belongs to one driver (core::Server
+/// serializes access for shared-cache tenants).
+class Stream {
+ public:
+  /// Standalone session owning a fresh fully-associative LRU cache of
+  /// `cache` geometry. The policy is bound with M = cache.capacity_words.
+  Stream(const sdf::SdfGraph& g, const partition::Partition& p,
+         const iomodel::CacheConfig& cache, StreamOptions options = {},
+         const schedule::OnlineRegistry* registry = nullptr);
+
+  /// Shared-cache session (multi-tenant serving): executes on `cache`,
+  /// which must outlive the stream. The policy's M is still `m` -- under
+  /// contention a tenant sizes its buffers for its *share*, not for the
+  /// whole cache.
+  Stream(const sdf::SdfGraph& g, const partition::Partition& p, iomodel::CacheSim& cache,
+         std::int64_t m, StreamOptions options = {},
+         const schedule::OnlineRegistry* registry = nullptr);
+
+  /// Convenience: a session for a Planner plan, on the planner's cache
+  /// geometry (the common "plan it, then serve it" path).
+  Stream(const Planner& planner, const Plan& plan, StreamOptions options = {});
+
+  ~Stream();  // out of line: members are incomplete types here
+
+  /// Admits up to `items` arrivals, returning how many were accepted --
+  /// fewer than `items` (the backpressure signal) when the pending queue
+  /// would exceed StreamOptions::max_pending_inputs.
+  std::int64_t push(std::int64_t items);
+
+  /// Arrivals admitted but not yet consumed by the source.
+  std::int64_t pending_inputs() const noexcept { return engine_->input_credit(); }
+
+  /// True when push() would refuse at least one item.
+  bool backpressured() const noexcept {
+    return options_.max_pending_inputs > 0 &&
+           pending_inputs() >= options_.max_pending_inputs;
+  }
+
+  /// Runs the next schedulable component execution (the policy's unit of
+  /// work), or reports idle. Counters in the result cover exactly this
+  /// step; they are also accumulated into stats().
+  StepResult step();
+
+  /// Steps until idle; returns the counters accumulated across the burst.
+  runtime::RunResult run_until_idle();
+
+  /// End of stream: aligns the source on a whole steady-state iteration
+  /// (never beyond pending arrivals) and flushes every channel. Returns the
+  /// drain's counters.
+  runtime::RunResult drain();
+
+  /// Counters accumulated over the whole session so far.
+  const runtime::RunResult& stats() const noexcept { return totals_; }
+
+  /// Items consumed (source firings) and results produced (sink firings).
+  std::int64_t inputs_consumed() const;
+  std::int64_t outputs_produced() const;
+
+  /// Component executions performed (progressing step() calls).
+  std::int64_t steps() const noexcept { return steps_; }
+
+  const schedule::OnlinePolicy& policy() const noexcept { return *policy_; }
+  const sdf::SdfGraph& graph() const noexcept { return graph_; }
+  iomodel::CacheSim& cache() noexcept { return *cache_; }
+
+ private:
+  /// schedule::EngineView over the metered engine.
+  class EngineBackedView;
+
+  Stream(sdf::SdfGraph g, const partition::Partition& p, std::int64_t m,
+         std::unique_ptr<iomodel::CacheSim> owned, iomodel::CacheSim* shared,
+         StreamOptions options, const schedule::OnlineRegistry* registry);
+
+  sdf::SdfGraph graph_;
+  StreamOptions options_;
+  std::unique_ptr<iomodel::CacheSim> owned_cache_;  ///< Null for shared-cache sessions.
+  iomodel::CacheSim* cache_;
+  std::unique_ptr<schedule::OnlinePolicy> policy_;
+  std::unique_ptr<runtime::Engine> engine_;
+  std::unique_ptr<EngineBackedView> view_;
+  runtime::RunResult totals_;
+  std::int64_t steps_ = 0;
+};
+
+}  // namespace ccs::core

@@ -5,8 +5,11 @@
 
 namespace ccs::iomodel {
 
-MemoryLayout::MemoryLayout(std::int64_t block_words) : block_words_(block_words) {
+MemoryLayout::MemoryLayout(std::int64_t block_words, Addr base)
+    : block_words_(block_words) {
   CCS_EXPECTS(block_words >= 1, "block size must be positive");
+  CCS_EXPECTS(base >= 0, "address base must be non-negative");
+  cursor_ = round_up(base, block_words_);
 }
 
 Region MemoryLayout::allocate(std::int64_t words, const std::string& label,

@@ -28,7 +28,11 @@ struct Region {
 /// layout only provides disjointness and alignment).
 class MemoryLayout {
  public:
-  explicit MemoryLayout(std::int64_t block_words);
+  /// Allocation starts at `base` rounded up to a block boundary. Distinct
+  /// bases give co-resident programs (multi-tenant engines sharing one
+  /// cache) disjoint address ranges, so their blocks contend instead of
+  /// silently aliasing.
+  explicit MemoryLayout(std::int64_t block_words, Addr base = 0);
 
   /// Allocates `words` (possibly 0). With `block_align` (the default) the
   /// region starts on a block boundary and no other region shares its

@@ -21,8 +21,10 @@ Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
     : graph_(&g),
       cache_(&cache),
       options_(options),
-      layout_(cache.config().block_words) {
+      layout_(cache.config().block_words, options.address_base) {
   CCS_EXPECTS(g.node_count() > 0, "cannot build an engine for an empty graph");
+  CCS_EXPECTS(options_.address_base >= 0 && options_.address_base < kExternalInBase,
+              "address base must stay below the external-stream bands");
   CCS_EXPECTS(buffer_caps.size() == static_cast<std::size_t>(g.edge_count()),
               "one buffer capacity per edge required");
 
@@ -49,6 +51,12 @@ Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
                          options_.block_align_buffers),
         cap);
   }
+  // The whole state/buffer layout must sit below the external-stream bands,
+  // or a co-resident engine's regions would silently alias another's
+  // external streams instead of contending for blocks.
+  CCS_EXPECTS(layout_.footprint() <= kExternalInBase,
+              "state/buffer layout overflows into the external-stream bands "
+              "(address base too high for this graph's footprint)");
   fired_.assign(static_cast<std::size_t>(g.node_count()), 0);
   node_miss_base_.assign(static_cast<std::size_t>(g.node_count()), 0);
   sizes_scratch_.assign(static_cast<std::size_t>(g.edge_count()), 0);
@@ -57,8 +65,8 @@ Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
   const auto sinks = g.sinks();
   if (sources.size() == 1) source_ = sources.front();
   if (sinks.size() == 1) sink_ = sinks.front();
-  external_in_ = iomodel::Region{kExternalInBase, 0};
-  external_out_ = iomodel::Region{kExternalOutBase, 0};
+  external_in_ = iomodel::Region{kExternalInBase + options_.address_base, 0};
+  external_out_ = iomodel::Region{kExternalOutBase + options_.address_base, 0};
 
   // Precompute one firing plan per module so fire() never walks the graph.
   plans_.resize(static_cast<std::size_t>(g.node_count()));
@@ -82,11 +90,32 @@ Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
 
 bool Engine::can_fire(sdf::NodeId v) const {
   CCS_EXPECTS(v >= 0 && v < graph_->node_count(), "node id out of range");
+  if (options_.credit_input && v == source_ && input_credit_ <= 0) return false;
   bool underflow = false;
   const auto live = [this](std::int32_t ch) {
     return channels_[static_cast<std::size_t>(ch)].size();
   };
   return first_blocked_port(v, live, underflow) == nullptr;
+}
+
+bool Engine::try_fire(sdf::NodeId v) noexcept {
+  if (v < 0 || v >= graph_->node_count()) return false;
+  if (options_.credit_input && v == source_ && input_credit_ <= 0) return false;
+  bool underflow = false;
+  const auto live = [this](std::int32_t ch) {
+    return channels_[static_cast<std::size_t>(ch)].size();
+  };
+  if (first_blocked_port(v, live, underflow) != nullptr) return false;
+  fire_unchecked(v);
+  return true;
+}
+
+void Engine::push_input(std::int64_t count) {
+  CCS_EXPECTS(options_.credit_input,
+              "push_input requires EngineOptions::credit_input");
+  CCS_EXPECTS(count >= 0, "input credit must be non-negative");
+  input_credit_ = input_credit_ > kUnlimitedCredit - count ? kUnlimitedCredit
+                                                           : input_credit_ + count;
 }
 
 void Engine::throw_blocked(sdf::NodeId v, const Port& p, bool underflow) const {
@@ -101,8 +130,13 @@ void Engine::validate_sequence(std::span<const sdf::NodeId> firings) {
   // re-validation; throws the same errors fire() would, before any firing
   // has executed.
   for (std::size_t e = 0; e < channels_.size(); ++e) sizes_scratch_[e] = channels_[e].size();
+  std::int64_t credit = input_credit_;
   for (const sdf::NodeId v : firings) {
     CCS_EXPECTS(v >= 0 && v < graph_->node_count(), "node id out of range");
+    if (options_.credit_input && v == source_ && credit-- <= 0) {
+      throw ScheduleError("firing '" + graph_->node(v).name +
+                          "' exceeds the granted external input credit");
+    }
     bool underflow = false;
     const auto replayed = [this](std::int32_t ch) {
       return sizes_scratch_[static_cast<std::size_t>(ch)];
@@ -124,6 +158,10 @@ void Engine::validate_sequence(std::span<const sdf::NodeId> firings) {
 
 void Engine::fire(sdf::NodeId v) {
   CCS_EXPECTS(v >= 0 && v < graph_->node_count(), "node id out of range");
+  if (options_.credit_input && v == source_ && input_credit_ <= 0) {
+    throw ScheduleError("firing '" + graph_->node(v).name +
+                        "' exceeds the granted external input credit");
+  }
   // Validate both directions before any memory traffic so a throwing fire
   // leaves token counts unchanged.
   bool underflow = false;
@@ -152,7 +190,7 @@ void Engine::fire_unchecked(sdf::NodeId v) {
   }
   const std::int64_t after_pops = stats.misses;
   if (options_.model_external_io && plan.is_source) {
-    cache_->access(kExternalInBase + external_in_cursor_++, iomodel::AccessMode::kRead);
+    cache_->access(external_in_.base + external_in_cursor_++, iomodel::AccessMode::kRead);
   }
   const std::int64_t after_in = stats.misses;
   // State regions are block-aligned, so the span touches exactly
@@ -167,7 +205,8 @@ void Engine::fire_unchecked(sdf::NodeId v) {
   }
   const std::int64_t after_pushes = stats.misses;
   if (options_.model_external_io && plan.is_sink) {
-    cache_->access(kExternalOutBase + external_out_cursor_++, iomodel::AccessMode::kWrite);
+    cache_->access(external_out_.base + external_out_cursor_++,
+                   iomodel::AccessMode::kWrite);
   }
   channel_misses_ += (after_pops - miss_before) + (after_pushes - after_state);
   io_misses_ += (after_in - after_pops) + (stats.misses - after_pushes);
@@ -175,17 +214,17 @@ void Engine::fire_unchecked(sdf::NodeId v) {
 
   ++fired_[static_cast<std::size_t>(v)];
   ++total_firings_;
-  if (plan.is_source) ++source_firings_;
+  if (plan.is_source) {
+    ++source_firings_;
+    if (options_.credit_input && input_credit_ != kUnlimitedCredit) --input_credit_;
+  }
   if (plan.is_sink) ++sink_firings_;
   if (options_.per_node_attribution) {
     node_miss_base_[static_cast<std::size_t>(v)] += stats.misses - miss_before;
   }
 }
 
-RunResult Engine::run(std::span<const sdf::NodeId> firings) {
-  validate_sequence(firings);
-  for (const sdf::NodeId v : firings) fire_unchecked(v);
-
+RunResult Engine::delta_counters() const {
   RunResult result;
   const iomodel::CacheStats& now = cache_->stats();
   result.cache.accesses = now.accesses - last_stats_.accesses;
@@ -198,19 +237,33 @@ RunResult Engine::run(std::span<const sdf::NodeId> firings) {
   result.state_misses = state_misses_ - last_state_misses_;
   result.channel_misses = channel_misses_ - last_channel_misses_;
   result.io_misses = io_misses_ - last_io_misses_;
-  last_state_misses_ = state_misses_;
-  last_channel_misses_ = channel_misses_;
-  last_io_misses_ = io_misses_;
-  if (options_.per_node_attribution) {
-    result.node_misses = node_miss_base_;
-    node_miss_base_.assign(node_miss_base_.size(), 0);
-  }
+  if (options_.per_node_attribution) result.node_misses = node_miss_base_;
+  return result;
+}
 
-  last_stats_ = now;
+void Engine::advance_baselines() {
+  last_stats_ = cache_->stats();
   last_firings_ = total_firings_;
   last_source_firings_ = source_firings_;
   last_sink_firings_ = sink_firings_;
+  last_state_misses_ = state_misses_;
+  last_channel_misses_ = channel_misses_;
+  last_io_misses_ = io_misses_;
+  node_miss_base_.assign(node_miss_base_.size(), 0);
+}
+
+RunResult Engine::snapshot() const { return delta_counters(); }
+
+RunResult Engine::take() {
+  RunResult result = delta_counters();
+  advance_baselines();
   return result;
+}
+
+RunResult Engine::run(std::span<const sdf::NodeId> firings) {
+  validate_sequence(firings);
+  for (const sdf::NodeId v : firings) fire_unchecked(v);
+  return take();
 }
 
 bool Engine::drained() const {
@@ -228,6 +281,7 @@ void Engine::rebind_cache(iomodel::CacheSim& cache) {
               "rebind requires the same block size (the memory layout depends on it)");
   cache_ = &cache;
   reset_tokens();
+  input_credit_ = 0;
   external_in_cursor_ = 0;
   external_out_cursor_ = 0;
   source_firings_ = 0;

@@ -13,6 +13,16 @@
 // these sequential streams cost ~1/B misses per word for *every* scheduler
 // and never interfere with partitioning decisions.
 //
+// Two driving modes:
+//  * Batch: run(firings) validates a whole materialized sequence once and
+//    replays it -- the classic schedule-then-measure workflow.
+//  * Incremental: try_fire() is a noexcept feasibility-check-and-fire for
+//    online drivers (core::Stream) that decide the next firing from live
+//    state; push_input() meters the external input so the source can only
+//    fire against tokens that have actually arrived (EngineOptions::
+//    credit_input), and snapshot()/take() poll the counters accumulated
+//    since the last take without needing a run() boundary.
+//
 // Hot path: construction precomputes one FiringPlan per module (flattened
 // input/output port spans, the state region, source/sink flags), so a firing
 // never re-derives edge lists or rates from the graph. run() validates the
@@ -25,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -51,6 +62,19 @@ struct EngineOptions {
   /// about tokens, not blocks; aligning one-word buffers inflates their
   /// footprint by a factor of B. Exposed for the E15 ablation.
   bool block_align_buffers = false;
+
+  /// Meter the external input: the source may only fire against credit
+  /// granted through push_input() (one credit = one source firing), so an
+  /// online driver can model arrivals and starvation. Off (the default),
+  /// the external input is unbounded, as the batch schedulers assume.
+  bool credit_input = false;
+
+  /// Word address where this engine's state/buffer layout begins (rounded
+  /// up to a block boundary). Engines sharing one cache (multi-tenant
+  /// serving) must use disjoint bases so their blocks *contend* rather than
+  /// silently alias; the external stream regions are offset by the base
+  /// too. Keep bases well below 2^40 (the external-stream bands).
+  std::int64_t address_base = 0;
 };
 
 /// Executes firing sequences for one graph + buffer-capacity assignment.
@@ -63,18 +87,56 @@ class Engine {
   Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
          iomodel::CacheSim& cache, EngineOptions options = {});
 
-  /// True iff every input has enough tokens and every output enough space.
+  /// Sentinel input_credit() when the external input is not metered.
+  static constexpr std::int64_t kUnlimitedCredit =
+      std::numeric_limits<std::int64_t>::max();
+
+  /// True iff every input has enough tokens, every output enough space, and
+  /// (under credit_input) the source has arrival credit left.
   bool can_fire(sdf::NodeId v) const;
 
   /// Executes one firing. Throws ScheduleError (before any memory traffic
   /// or token movement) if v cannot fire.
   void fire(sdf::NodeId v);
 
+  /// Feasibility check plus firing in one noexcept call -- the online hot
+  /// path. Returns false (touching nothing: no tokens, no memory traffic,
+  /// no counters) when v cannot fire right now, including an out-of-range
+  /// id, a blocked channel, or an exhausted input credit; true after the
+  /// firing executed. fire() keeps its throwing contract for batch callers.
+  bool try_fire(sdf::NodeId v) noexcept;
+
+  /// Grants `count` further source firings' worth of external input
+  /// (requires EngineOptions::credit_input). Saturates at kUnlimitedCredit.
+  void push_input(std::int64_t count);
+
+  /// Source firings the external input can still cover: granted minus
+  /// consumed credit, or kUnlimitedCredit when the input is not metered.
+  std::int64_t input_credit() const noexcept {
+    return options_.credit_input ? input_credit_ : kUnlimitedCredit;
+  }
+
   /// Fires the sequence in order, returning the counters accumulated since
-  /// the previous run (or construction). The whole sequence is validated
+  /// the previous take (or construction). The whole sequence is validated
   /// up front; an infeasible sequence throws ScheduleError naming the first
   /// offending firing, with no tokens moved and no memory traffic.
   RunResult run(std::span<const sdf::NodeId> firings);
+
+  /// Counters accumulated since the last take()/run() boundary, without
+  /// resetting the baseline: polling twice returns the same deltas.
+  RunResult snapshot() const;
+
+  /// Counters accumulated since the last take()/run() boundary, then
+  /// re-anchors the baseline so the next take reports only new work. run()
+  /// is equivalent to validate + fire-all + take().
+  RunResult take();
+
+  /// Re-anchors only the cache-statistics baseline at the cache's current
+  /// counters. On a cache shared between engines (multi-tenant serving),
+  /// call this before each run/take window so traffic other engines
+  /// generated in between is not attributed to this one; firing and
+  /// classified-miss baselines are engine-local and unaffected.
+  void resync_cache_baseline() { last_stats_ = cache_->stats(); }
 
   /// Tokens currently queued on edge e.
   std::int64_t tokens(sdf::EdgeId e) const {
@@ -160,11 +222,18 @@ class Engine {
   [[noreturn]] void throw_blocked(sdf::NodeId v, const Port& p, bool underflow) const;
 
   /// Replays `firings` against token counters only (no cache traffic),
-  /// throwing on the first infeasible firing.
+  /// throwing on the first infeasible firing (including a source firing
+  /// beyond the granted input credit when the input is metered).
   void validate_sequence(std::span<const sdf::NodeId> firings);
 
   /// Executes one pre-validated firing.
   void fire_unchecked(sdf::NodeId v);
+
+  /// Assembles the delta-since-baseline counters (shared by snapshot/take).
+  RunResult delta_counters() const;
+
+  /// Re-anchors every last_* baseline at the current lifetime counters.
+  void advance_baselines();
 
   const sdf::SdfGraph* graph_;
   iomodel::CacheSim* cache_;
@@ -180,6 +249,7 @@ class Engine {
 
   sdf::NodeId source_ = sdf::kInvalidNode;
   sdf::NodeId sink_ = sdf::kInvalidNode;
+  std::int64_t input_credit_ = 0;  ///< Remaining source firings (credit mode).
   iomodel::Addr external_in_cursor_ = 0;
   iomodel::Addr external_out_cursor_ = 0;
   iomodel::Region external_in_;

@@ -1,41 +1,71 @@
 #include "schedule/dynamic.h"
 
-#include <algorithm>
-#include <vector>
+#include <memory>
+#include <string>
 
+#include "schedule/online.h"
 #include "schedule/token_sim.h"
-#include "sdf/gain.h"
-#include "sdf/min_buffer.h"
-#include "sdf/repetition.h"
-#include "sdf/topology.h"
+#include "util/contracts.h"
 #include "util/error.h"
-#include "util/int_math.h"
 
 namespace ccs::schedule {
 
 namespace {
 
-/// Greedy chain/topological sweeps with the source capped at `source_limit`
-/// lifetime firings; records into `period`; returns when no module can fire.
-void drain_sweeps(TokenSim& sim, const std::vector<sdf::NodeId>& order, sdf::NodeId source,
-                  std::int64_t source_limit, std::vector<sdf::NodeId>& period) {
-  bool progressed = true;
-  while (progressed) {
-    progressed = false;
-    for (const sdf::NodeId v : order) {
-      std::int64_t limit = std::numeric_limits<std::int64_t>::max();
-      if (v == source) {
-        limit = source_limit - sim.fired(v);
-        if (limit <= 0) continue;
-      }
-      const std::int64_t batch = sim.max_batch(v, limit);
-      if (batch > 0) {
-        sim.fire(v, batch);
-        period.insert(period.end(), static_cast<std::size_t>(batch), v);
-        progressed = true;
-      }
+/// EngineView over a bare TokenSim plus a driver-held credit counter.
+class TokenSimView final : public EngineView {
+ public:
+  TokenSimView(const TokenSim& sim, const std::int64_t* credit)
+      : sim_(&sim), credit_(credit) {}
+
+  std::int64_t tokens(sdf::EdgeId e) const override { return sim_->tokens(e); }
+  std::int64_t capacity(sdf::EdgeId e) const override { return sim_->capacity(e); }
+  std::int64_t fired(sdf::NodeId v) const override { return sim_->fired(v); }
+  std::int64_t input_credit() const override { return *credit_; }
+
+ private:
+  const TokenSim* sim_;
+  const std::int64_t* credit_;
+};
+
+/// Materializes a policy run as one batch period: grant the policy's own
+/// input allowance, step until `min_outputs` sink firings, then drain. This
+/// is exactly what core::Stream does against a cache-measuring engine, so
+/// the batch schedule and the online session execute identical sequences.
+Schedule run_policy(const sdf::SdfGraph& g, OnlinePolicy& policy, std::int64_t min_outputs,
+                    const std::string& schedule_name, const std::string& label) {
+  Schedule out;
+  out.name = schedule_name;
+  out.buffer_caps = policy.buffer_caps();
+
+  TokenSim sim(g, out.buffer_caps);
+  std::int64_t credit = policy.batch_credit(min_outputs);
+  const TokenSimView view(sim, &credit);
+  const sdf::NodeId source = policy.source();
+  const sdf::NodeId sink = policy.sink();
+
+  const auto execute = [&](const std::vector<sdf::NodeId>& firings) {
+    for (const sdf::NodeId v : firings) {
+      sim.fire(v);
+      if (v == source && credit != kUnlimitedCredit) --credit;
     }
+    out.period.insert(out.period.end(), firings.begin(), firings.end());
+  };
+
+  while (sim.fired(sink) < min_outputs) {
+    const StepPlan step = policy.next_step(view);
+    if (step.idle()) {
+      throw DeadlockError(label + " scheduler made no progress");
+    }
+    execute(step.firings);
   }
+  execute(policy.plan_drain(view));
+  if (!sim.drained()) {
+    throw DeadlockError(label + " schedule failed to drain");
+  }
+  out.inputs_per_period = sim.fired(source);
+  out.outputs_per_period = sim.fired(sink);
+  return out;
 }
 
 }  // namespace
@@ -43,215 +73,15 @@ void drain_sweeps(TokenSim& sim, const std::vector<sdf::NodeId>& order, sdf::Nod
 Schedule dynamic_pipeline_schedule(const sdf::SdfGraph& g, const partition::Partition& p,
                                    std::int64_t m, std::int64_t min_outputs) {
   CCS_EXPECTS(m > 0 && min_outputs > 0, "invalid dynamic schedule parameters");
-  const auto chain = sdf::pipeline_order(g);  // throws if not a pipeline
-  if (!partition::is_well_ordered(g, p)) {
-    throw Error("dynamic scheduling requires a well-ordered partition");
-  }
-  const partition::Partition topo_p = partition::renumber_topological(g, p);
-  const sdf::RepetitionVector reps(g);
-  const std::int64_t k = topo_p.num_components;
-
-  // Segments must be contiguous runs of the chain (true for any well-ordered
-  // pipeline partition); record each component's member order and its
-  // incoming/outgoing cross edge.
-  std::vector<std::vector<sdf::NodeId>> members(static_cast<std::size_t>(k));
-  for (const sdf::NodeId v : chain) {
-    members[static_cast<std::size_t>(topo_p.comp(v))].push_back(v);
-  }
-  std::vector<sdf::EdgeId> cross;  // cross[i] = edge from comp i to comp i+1
-  for (std::int64_t i = 0; i + 1 < k; ++i) {
-    const sdf::NodeId last = members[static_cast<std::size_t>(i)].back();
-    CCS_CHECK(!g.out_edges(last).empty(), "non-final segment must continue the chain");
-    const sdf::EdgeId e = g.out_edges(last).front();
-    CCS_CHECK(topo_p.comp(g.edge(e).dst) == i + 1,
-              "pipeline partition must be contiguous segments");
-    cross.push_back(e);
-  }
-
-  Schedule out;
-  out.name = "dynamic-pipeline";
-  const auto internal = sdf::feasible_buffers(g);
-  out.buffer_caps = internal;
-  for (const sdf::EdgeId e : cross) {
-    const sdf::Edge& edge = g.edge(e);
-    out.buffer_caps[static_cast<std::size_t>(e)] =
-        std::max(m, sdf::edge_min_buffer(edge.out_rate, edge.in_rate) * 2);
-  }
-
-  TokenSim sim(g, out.buffer_caps);
-  const sdf::NodeId source = chain.front();
-  const sdf::NodeId sink = chain.back();
-
-  // The source's component has no input cross edge, so "run until the input
-  // empties" never triggers for it; cap its firings at the whole-run demand
-  // (enough steady-state iterations to cover min_outputs) or the loop would
-  // never block when the partition has a single component.
-  const std::int64_t src_cap =
-      checked_mul(ceil_div(min_outputs, reps.count(sink)) + 1, reps.count(source));
-
-  // Executes component c until its input cross edge is exhausted or its
-  // output cross edge is full (the paper's run-to-blocking rule).
-  auto execute_component = [&](std::int64_t c) -> std::int64_t {
-    std::int64_t fired_total = 0;
-    bool progressed = true;
-    while (progressed) {
-      progressed = false;
-      for (const sdf::NodeId v : members[static_cast<std::size_t>(c)]) {
-        std::int64_t limit = std::numeric_limits<std::int32_t>::max();
-        if (v == source) {
-          limit = src_cap - sim.fired(v);
-          if (limit <= 0) continue;
-        }
-        const std::int64_t batch = sim.max_batch(v, limit);
-        if (batch > 0) {
-          sim.fire(v, batch);
-          out.period.insert(out.period.end(), static_cast<std::size_t>(batch), v);
-          fired_total += batch;
-          progressed = true;
-        }
-      }
-    }
-    return fired_total;
-  };
-
-  // Fill phase: the continuity rule. Scan cross edges in order; the first
-  // at-most-half-full edge designates its upstream component; if none
-  // qualifies, the sink's component runs (its output is always "empty").
-  while (sim.fired(sink) < min_outputs) {
-    std::int64_t chosen = k - 1;
-    for (std::size_t i = 0; i < cross.size(); ++i) {
-      const sdf::EdgeId e = cross[i];
-      if (sim.tokens(e) * 2 <= sim.capacity(e)) {
-        chosen = static_cast<std::int64_t>(i);
-        break;
-      }
-    }
-    if (execute_component(chosen) > 0) continue;
-    // The idealized rule assumes an infinite input stream; once the source
-    // hits its cap near the end of the run, push the in-flight tokens
-    // through whichever component can still move.
-    bool progressed = false;
-    for (std::int64_t c = 0; c < k && !progressed; ++c) {
-      progressed = execute_component(c) > 0;
-    }
-    if (!progressed) {
-      throw DeadlockError("dynamic pipeline scheduler made no progress");
-    }
-  }
-
-  // Align the source on a whole number of steady-state iterations, then
-  // drain so the period is repeatable.
-  const std::int64_t src_target =
-      ceil_div(sim.fired(source), reps.count(source)) * reps.count(source);
-  drain_sweeps(sim, chain, source, src_target, out.period);
-  if (!sim.drained()) {
-    throw DeadlockError("dynamic pipeline schedule failed to drain");
-  }
-  out.inputs_per_period = sim.fired(source);
-  out.outputs_per_period = sim.fired(sink);
-  return out;
+  const auto policy = make_pipeline_half_full_policy(g, p, m);
+  return run_policy(g, *policy, min_outputs, "dynamic-pipeline", "dynamic pipeline");
 }
 
 Schedule dynamic_homogeneous_schedule(const sdf::SdfGraph& g, const partition::Partition& p,
                                       std::int64_t m, std::int64_t min_outputs) {
   CCS_EXPECTS(m > 0 && min_outputs > 0, "invalid dynamic schedule parameters");
-  if (!g.is_homogeneous()) {
-    throw Error("dynamic homogeneous scheduling requires unit rates everywhere");
-  }
-  if (!partition::is_well_ordered(g, p)) {
-    throw Error("dynamic scheduling requires a well-ordered partition");
-  }
-  const partition::Partition topo_p = partition::renumber_topological(g, p);
-  const auto global_topo = sdf::topological_sort(g);
-  const std::int64_t k = topo_p.num_components;
-
-  std::vector<std::vector<sdf::NodeId>> members(static_cast<std::size_t>(k));
-  for (const sdf::NodeId v : global_topo) {
-    members[static_cast<std::size_t>(topo_p.comp(v))].push_back(v);
-  }
-
-  Schedule out;
-  out.name = "dynamic-homog";
-  out.buffer_caps.assign(static_cast<std::size_t>(g.edge_count()), 1);
-  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) {
-    if (topo_p.comp(g.edge(e).src) != topo_p.comp(g.edge(e).dst)) {
-      out.buffer_caps[static_cast<std::size_t>(e)] = m;
-    }
-  }
-
-  TokenSim sim(g, out.buffer_caps);
-  const sdf::NodeId source = g.sources().front();
-  const sdf::NodeId sink = g.sinks().front();
-
-  auto schedulable = [&](std::int64_t c) {
-    for (const sdf::NodeId v : members[static_cast<std::size_t>(c)]) {
-      for (const sdf::EdgeId e : g.in_edges(v)) {
-        if (topo_p.comp(g.edge(e).src) != c && sim.tokens(e) < m) return false;
-      }
-      for (const sdf::EdgeId e : g.out_edges(v)) {
-        if (topo_p.comp(g.edge(e).dst) != c && sim.tokens(e) != 0) return false;
-      }
-    }
-    return true;
-  };
-
-  // Execute = m local iterations, each one topological pass over members.
-  auto execute_component = [&](std::int64_t c) {
-    for (std::int64_t iter = 0; iter < m; ++iter) {
-      for (const sdf::NodeId v : members[static_cast<std::size_t>(c)]) {
-        sim.fire(v, 1);
-        out.period.push_back(v);
-      }
-    }
-  };
-
-  while (sim.fired(sink) < min_outputs) {
-    std::int64_t chosen = -1;
-    for (std::int64_t c = 0; c < k; ++c) {
-      if (schedulable(c)) {
-        chosen = c;
-        break;
-      }
-    }
-    if (chosen < 0) {
-      throw DeadlockError(
-          "no schedulable component; homogeneity should guarantee one exists");
-    }
-    execute_component(chosen);
-  }
-
-  // Drain: source already fired an exact number of batches. Drain
-  // component-major (run each component to exhaustion before moving on) so
-  // every component's state is loaded O(1) times, not once per global
-  // sweep -- a global module-by-module sweep would thrash all state on
-  // every lap.
-  bool draining = true;
-  while (draining) {
-    draining = false;
-    for (std::int64_t c = 0; c < k; ++c) {
-      bool progressed = true;
-      while (progressed) {
-        progressed = false;
-        for (const sdf::NodeId v : members[static_cast<std::size_t>(c)]) {
-          if (v == source) continue;  // no new inputs while draining
-          const std::int64_t batch =
-              sim.max_batch(v, std::numeric_limits<std::int64_t>::max());
-          if (batch > 0) {
-            sim.fire(v, batch);
-            out.period.insert(out.period.end(), static_cast<std::size_t>(batch), v);
-            progressed = true;
-            draining = true;
-          }
-        }
-      }
-    }
-  }
-  if (!sim.drained()) {
-    throw DeadlockError("dynamic homogeneous schedule failed to drain");
-  }
-  out.inputs_per_period = sim.fired(source);
-  out.outputs_per_period = sim.fired(sink);
-  return out;
+  const auto policy = make_homogeneous_m_batch_policy(g, p, m);
+  return run_policy(g, *policy, min_outputs, "dynamic-homog", "dynamic homogeneous");
 }
 
 }  // namespace ccs::schedule

@@ -1,15 +1,20 @@
 // Dynamic (online) component scheduling (Section 3, "Scheduling pipelines"
-// and the asynchronous homogeneous variant).
+// and the asynchronous homogeneous variant) -- batch wrappers.
 //
 // Unlike the batch scheduler, the dynamic pipeline scheduler fixes no output
 // count in advance. Every cross edge gets a Theta(M) buffer; a component is
 // *schedulable* when its input cross buffer is at least half full and its
 // output cross buffer at most half full; it then executes until the input
 // empties or the output fills, moving Omega(M) tokens either way -- enough
-// to amortize the O(M/B) cost of loading the component. The paper's
-// continuity argument (scan cross edges in order; the first at-most-half-
-// full edge has a schedulable upstream component) guarantees progress, and
-// the same scan is implemented here verbatim.
+// to amortize the O(M/B) cost of loading the component.
+//
+// The rules themselves live in schedule/online.h as stateful OnlinePolicy
+// sessions (the supported online surface; core::Stream drives them against
+// a live engine with real arrivals). The functions below are thin batch
+// wrappers kept for one-shot callers: they run the corresponding policy
+// until `min_outputs` sink firings and materialize everything it executed
+// as one periodic Schedule -- firing-for-firing identical to the sequence a
+// Stream with the same input allowance executes online.
 #pragma once
 
 #include <cstdint>

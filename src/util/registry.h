@@ -29,7 +29,11 @@ namespace ccs {
 template <typename Entry>
 class NamedRegistry {
  public:
-  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+  /// `plural` defaults to kind + "s"; pass it explicitly for irregular
+  /// nouns ("policy" -> "policies").
+  explicit NamedRegistry(std::string kind, std::string plural = {})
+      : kind_(std::move(kind)),
+        plural_(plural.empty() ? kind_ + "s" : std::move(plural)) {}
 
   NamedRegistry(const NamedRegistry&) = delete;
   NamedRegistry& operator=(const NamedRegistry&) = delete;
@@ -82,13 +86,14 @@ class NamedRegistry {
  private:
   // Callers must hold mutex_.
   std::string known_keys_suffix() const {
-    if (entries_.empty()) return "; no " + kind_ + "s are registered";
-    std::string out = "; valid " + kind_ + "s:";
+    if (entries_.empty()) return "; no " + plural_ + " are registered";
+    std::string out = "; valid " + plural_ + ":";
     for (const auto& [name, entry] : entries_) out += " " + name;
     return out;
   }
 
   std::string kind_;
+  std::string plural_;
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;
 };

@@ -1,0 +1,63 @@
+#include "workloads/arrivals.h"
+
+#include "util/contracts.h"
+
+namespace ccs::workloads {
+
+ArrivalPattern steady_arrivals(std::int64_t per_tick) {
+  CCS_EXPECTS(per_tick >= 0, "arrival rate must be non-negative");
+  return [per_tick](std::int64_t) { return per_tick; };
+}
+
+ArrivalPattern bursty_arrivals(std::int64_t burst, std::int64_t period) {
+  CCS_EXPECTS(burst >= 0, "burst size must be non-negative");
+  CCS_EXPECTS(period >= 1, "burst period must be at least one tick");
+  return [burst, period](std::int64_t tick) { return tick % period == 0 ? burst : 0; };
+}
+
+ArrivalPattern on_off_arrivals(std::int64_t per_tick, std::int64_t on, std::int64_t off) {
+  CCS_EXPECTS(per_tick >= 0, "arrival rate must be non-negative");
+  CCS_EXPECTS(on >= 1, "on-phase must last at least one tick");
+  CCS_EXPECTS(off >= 0, "off-phase must be non-negative");
+  const std::int64_t cycle = on + off;
+  return [per_tick, on, cycle](std::int64_t tick) {
+    return tick % cycle < on ? per_tick : 0;
+  };
+}
+
+std::int64_t total_arrivals(const ArrivalPattern& pattern, std::int64_t ticks) {
+  CCS_EXPECTS(ticks >= 0, "tick count must be non-negative");
+  std::int64_t total = 0;
+  for (std::int64_t t = 0; t < ticks; ++t) total += pattern(t);
+  return total;
+}
+
+ArrivalRegistry& ArrivalRegistry::global() {
+  static ArrivalRegistry instance;
+  static const bool initialized = (register_builtin_arrivals(instance), true);
+  (void)initialized;
+  return instance;
+}
+
+ArrivalPattern ArrivalRegistry::build(const std::string& name) const {
+  return find(name).build();
+}
+
+void register_builtin_arrivals(ArrivalRegistry& r) {
+  r.add("steady-1", {[] { return steady_arrivals(1); }, "1 item every tick"});
+  r.add("steady-16", {[] { return steady_arrivals(16); }, "16 items every tick"});
+  r.add("bursty-64",
+        {[] { return bursty_arrivals(64, 16); }, "64 items every 16th tick (avg 4/tick)"});
+  r.add("bursty-256",
+        {[] { return bursty_arrivals(256, 32); }, "256 items every 32nd tick (avg 8/tick)"});
+  r.add("bursty-1024",
+        {[] { return bursty_arrivals(1024, 8); },
+         "1024 items every 8th tick (Theta(M)-sized bursts for kiloword caches)"});
+  r.add("on-off-8x8",
+        {[] { return on_off_arrivals(8, 8, 8); }, "8/tick for 8 ticks, then 8 ticks silent"});
+  r.add("on-off-16x48",
+        {[] { return on_off_arrivals(16, 16, 48); },
+         "16/tick for 16 ticks, then 48 ticks silent (25% duty cycle)"});
+}
+
+}  // namespace ccs::workloads

@@ -1,0 +1,75 @@
+// Deterministic arrival-pattern generators for online sessions.
+//
+// A core::Stream consumes items as they arrive; an arrival pattern says how
+// many arrive at each tick of a driving loop. Patterns are pure functions
+// of the tick index -- deterministic and stateless -- so a sweep cell or a
+// test replaying the same pattern sees the identical arrival sequence, and
+// a pattern can be evaluated from any tick without replaying the prefix.
+//
+// The parametric factories build the three canonical serving shapes:
+//  * steady  -- r items every tick (the paper's infinite-input idealization,
+//               rate-limited);
+//  * bursty  -- b items every p-th tick, nothing in between (same average
+//               rate as steady(b/p) but maximally clumped);
+//  * on_off  -- r items per tick for `on` ticks, then silence for `off`
+//               (Markov-style duty cycling, the common traffic model).
+//
+// ArrivalRegistry names representative instances ("steady-1", "bursty-64",
+// ...) so experiment specs can grid arrival shapes by key, exactly like
+// workloads::Registry names graphs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/registry.h"
+
+namespace ccs::workloads {
+
+/// Items arriving at tick t (t >= 0). Implementations must be pure.
+using ArrivalPattern = std::function<std::int64_t(std::int64_t tick)>;
+
+/// `per_tick` items every tick.
+ArrivalPattern steady_arrivals(std::int64_t per_tick);
+
+/// `burst` items on every `period`-th tick (ticks 0, period, 2*period, ...),
+/// zero otherwise. Requires period >= 1.
+ArrivalPattern bursty_arrivals(std::int64_t burst, std::int64_t period);
+
+/// `per_tick` items during on-phases: `on` ticks flowing, `off` ticks
+/// silent, repeating. Requires on >= 1, off >= 0.
+ArrivalPattern on_off_arrivals(std::int64_t per_tick, std::int64_t on, std::int64_t off);
+
+/// Total arrivals over ticks [0, ticks).
+std::int64_t total_arrivals(const ArrivalPattern& pattern, std::int64_t ticks);
+
+/// A named arrival pattern.
+struct ArrivalEntry {
+  /// Builds the pattern (factories must be deterministic).
+  std::function<ArrivalPattern()> build;
+
+  /// One-line description for --help style listings.
+  std::string description;
+};
+
+/// String-keyed arrival-pattern table. See util/registry.h for the shared
+/// add/find/keys semantics (duplicate and unknown keys throw ccs::Error).
+class ArrivalRegistry : public NamedRegistry<ArrivalEntry> {
+ public:
+  ArrivalRegistry() : NamedRegistry<ArrivalEntry>("arrival pattern") {}
+
+  /// The process-wide registry, seeded with the built-ins on first use.
+  static ArrivalRegistry& global();
+
+  /// Looks up `name` and builds the pattern. Throws ccs::Error (listing
+  /// valid keys) for unknown names.
+  ArrivalPattern build(const std::string& name) const;
+};
+
+/// Registers the built-in patterns into `r` (used by global(); exposed so
+/// tests can build isolated registries): steady-1, steady-16, bursty-64,
+/// bursty-256, bursty-1024, on-off-8x8, on-off-16x48.
+void register_builtin_arrivals(ArrivalRegistry& r);
+
+}  // namespace ccs::workloads

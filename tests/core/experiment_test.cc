@@ -178,5 +178,79 @@ TEST(Experiment, CsvAndJsonEmission) {
   EXPECT_EQ(json_text.find("\"error\""), std::string::npos);  // all cells ok
 }
 
+/// A small online grid: one pipeline workload, two caches, two arrival
+/// shapes, one and two tenants.
+SweepSpec online_spec() {
+  SweepSpec spec;
+  spec.workloads = {"uniform-pipeline"};
+  spec.caches = {{512, 8}, {1024, 8}};
+  spec.online.arrivals = {"steady-16", "bursty-64"};
+  spec.online.tenant_counts = {1, 2};
+  spec.online.ticks = 24;
+  return spec;
+}
+
+TEST(Experiment, OnlineCellsRunAndRecordServingCoordinates) {
+  const Experiment e(online_spec());
+  // 1 workload x 2 caches x (2 arrivals x 2 tenant counts).
+  EXPECT_EQ(e.cell_count(), 1u * 2u * 4u);
+  const auto result = e.run(1);
+  EXPECT_EQ(result.failed_cells(), 0u);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_TRUE(cell.is_online);
+    EXPECT_FALSE(cell.arrival.empty());
+    EXPECT_GT(cell.tenants, 0);
+    EXPECT_EQ(cell.resolved_strategy, "pipeline-half-full");
+    EXPECT_EQ(cell.schedule_name, "online:pipeline-half-full");
+    EXPECT_GT(cell.run.cache.misses, 0);
+    EXPECT_GT(cell.server_steps, 0);
+    // Every tenant consumed the whole pattern and drained it through.
+    const std::int64_t per_tenant =
+        workloads::total_arrivals(workloads::ArrivalRegistry::global().build(cell.arrival),
+                                  online_spec().online.ticks);
+    EXPECT_EQ(cell.run.source_firings, per_tenant * cell.tenants) << cell.arrival;
+    EXPECT_EQ(cell.run.sink_firings, per_tenant * cell.tenants) << cell.arrival;
+  }
+  // More tenants on the same cache never miss less in aggregate per item.
+  const CellResult& solo = result.cells[0];    // steady-16, 1 tenant
+  const CellResult& duo = result.cells[1];     // steady-16, 2 tenants
+  ASSERT_EQ(solo.arrival, duo.arrival);
+  EXPECT_GE(duo.misses_per_input, solo.misses_per_input * 0.99);
+}
+
+TEST(Experiment, OnlineCellsAreThreadCountIndependentAndRepeatable) {
+  auto spec = online_spec();
+  spec.repetitions = 2;  // in-cell repeat-run tripwire
+  spec.baselines = {"naive"};  // mix batch and online cells in one grid
+  spec.partitioners = {"auto"};
+  const Experiment e(spec);
+  expect_cells_identical(e.run(1), e.run(3));
+}
+
+TEST(Experiment, OnlineCellFailuresAreRecordedNotThrown) {
+  auto spec = online_spec();
+  spec.workloads = {"FMRadio"};  // multirate dag: no online rule applies
+  const auto result = Experiment(spec).run(1);
+  ASSERT_EQ(result.failed_cells(), result.cells.size());
+  for (const CellResult& cell : result.cells) {
+    EXPECT_FALSE(cell.ok);
+    EXPECT_NE(cell.error.find("no online rule applies"), std::string::npos);
+  }
+}
+
+TEST(Experiment, OnlineCsvAndJsonCarryArrivalAndTenantColumns) {
+  const auto result = Experiment(online_spec()).run(1);
+  std::ostringstream csv;
+  result.write_csv(csv);
+  EXPECT_NE(csv.str().find(",arrival,tenants,"), std::string::npos);
+  EXPECT_NE(csv.str().find("online"), std::string::npos);
+  EXPECT_NE(csv.str().find("bursty-64"), std::string::npos);
+  std::ostringstream json;
+  result.write_json(json);
+  EXPECT_NE(json.str().find("\"kind\": \"online\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"arrival\": \"steady-16\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"tenants\": 2"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ccs::core

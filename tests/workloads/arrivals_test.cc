@@ -1,0 +1,76 @@
+// Arrival-pattern generators: shapes, determinism, and the registry.
+
+#include "workloads/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace ccs::workloads {
+namespace {
+
+TEST(Arrivals, SteadyIsConstant) {
+  const ArrivalPattern p = steady_arrivals(7);
+  for (std::int64_t t = 0; t < 50; ++t) EXPECT_EQ(p(t), 7);
+  EXPECT_EQ(total_arrivals(p, 100), 700);
+}
+
+TEST(Arrivals, BurstyClumpsTheSameAverage) {
+  const ArrivalPattern p = bursty_arrivals(64, 16);
+  EXPECT_EQ(p(0), 64);
+  for (std::int64_t t = 1; t < 16; ++t) EXPECT_EQ(p(t), 0) << t;
+  EXPECT_EQ(p(16), 64);
+  // Same average rate as steady(4) over whole periods.
+  EXPECT_EQ(total_arrivals(p, 160), total_arrivals(steady_arrivals(4), 160));
+}
+
+TEST(Arrivals, OnOffDutyCycles) {
+  const ArrivalPattern p = on_off_arrivals(8, 3, 5);
+  // 3 on-ticks, 5 off-ticks, repeating.
+  for (std::int64_t t = 0; t < 3; ++t) EXPECT_EQ(p(t), 8) << t;
+  for (std::int64_t t = 3; t < 8; ++t) EXPECT_EQ(p(t), 0) << t;
+  EXPECT_EQ(p(8), 8);
+  EXPECT_EQ(total_arrivals(p, 16), 2 * 3 * 8);
+}
+
+TEST(Arrivals, PatternsArePureFunctionsOfTheTick) {
+  // Same tick, same answer -- in any order, from any starting point.
+  const ArrivalPattern p = on_off_arrivals(5, 4, 4);
+  const std::int64_t at17 = p(17);
+  total_arrivals(p, 40);  // evaluate a prefix in between
+  EXPECT_EQ(p(17), at17);
+  EXPECT_EQ(p(17 + 8), at17);  // one whole cycle later
+}
+
+TEST(Arrivals, RegistryBuildsBuiltinsAndRejectsUnknownKeys) {
+  ArrivalRegistry r;
+  register_builtin_arrivals(r);
+  EXPECT_GE(r.size(), 6u);
+  for (const std::string& key : r.keys()) {
+    const ArrivalPattern p = r.build(key);
+    EXPECT_GE(total_arrivals(p, 64), 0) << key;
+    EXPECT_FALSE(r.find(key).description.empty()) << key;
+  }
+  try {
+    r.build("bogus");
+    FAIL() << "expected ccs::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("valid arrival patterns"), std::string::npos);
+  }
+}
+
+TEST(Arrivals, GlobalRegistryIsSeeded) {
+  EXPECT_TRUE(ArrivalRegistry::global().contains("steady-1"));
+  EXPECT_TRUE(ArrivalRegistry::global().contains("bursty-64"));
+  EXPECT_TRUE(ArrivalRegistry::global().contains("on-off-8x8"));
+}
+
+TEST(Arrivals, RejectsDegenerateParameters) {
+  EXPECT_THROW(bursty_arrivals(4, 0), ContractViolation);
+  EXPECT_THROW(on_off_arrivals(4, 0, 4), ContractViolation);
+  EXPECT_THROW(steady_arrivals(-1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ccs::workloads
