@@ -6,15 +6,35 @@
 // (paper Section 7): total misses stay near the uniprocessor count (misses
 // are a schedule property, parallelism only adds per-worker reloads), while
 // makespan drops until the partition's component parallelism is exhausted.
+//
+// Since PR 5 the simulator runs over runtime::WorkerPool -- the same
+// private-L1 worker caches the core::Cluster serving stack shards sessions
+// onto -- with per-worker counters bit-identical to the old hand-rolled
+// caches (tests/schedule/parallel_golden_test.cc pins this). `--llc-words=N`
+// backs the workers with a shared LLC and adds its traffic to the table;
+// `--json` emits one schedule::write_parallel_json line per worker count so
+// CI can diff repeat runs exactly like sweep CSVs.
+
+#include <string>
 
 #include "bench/common.h"
+#include "core/cluster.h"
 #include "partition/dag_greedy.h"
-#include "schedule/parallel.h"
+#include "runtime/worker_pool.h"
+#include "schedule/serialize.h"
 #include "util/rng.h"
 #include "workloads/random_dag.h"
 
 int main(int argc, char** argv) {
   using namespace ccs;
+  bool json = false;
+  std::int64_t llc_words = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json = true;
+    if (arg.rfind("--llc-words=", 0) == 0) llc_words = std::stoll(arg.substr(12));
+  }
+
   Rng rng(1414);
   workloads::LayeredSpec spec;
   spec.layers = 4;
@@ -28,14 +48,21 @@ int main(int argc, char** argv) {
   const auto p = partition::dag_greedy_partition(g, 900);
 
   Table t("E14: parallel workers on a wide homogeneous dag (26 modules, " +
-          std::to_string(p.num_components) + " components)");
+          std::to_string(p.num_components) + " components" +
+          (llc_words > 0 ? ", shared " + std::to_string(llc_words) + "-word LLC" : "") +
+          ")");
   t.set_header({"workers", "makespan", "speedup", "total misses", "misses vs 1w",
-                "imbalance"});
+                "imbalance", "LLC misses"});
   std::int64_t base_makespan = 0;
   std::int64_t base_misses = 0;
   for (const std::int32_t workers : {1, 2, 4, 8}) {
-    const auto r =
-        schedule::simulate_parallel_homogeneous(g, p, m, cache_words, 8, workers, 4096);
+    runtime::WorkerPool pool(
+        runtime::WorkerPoolOptions{workers, {cache_words, 8}, llc_words});
+    const auto r = core::simulate_parallel_on_pool(g, p, m, pool, 4096);
+    if (json) {
+      schedule::write_parallel_json(r, std::cout);
+      std::cout << "\n";
+    }
     if (workers == 1) {
       base_makespan = r.makespan;
       base_misses = r.total_misses;
@@ -46,8 +73,9 @@ int main(int argc, char** argv) {
                Table::num(r.total_misses),
                bench::safe_ratio(static_cast<double>(r.total_misses),
                                  static_cast<double>(base_misses)),
-               Table::num(r.imbalance(), 2)});
+               Table::num(r.imbalance(), 2),
+               llc_words > 0 ? Table::num(r.llc.misses) : "-"});
   }
-  bench::emit(t, argc, argv);
+  if (!json) bench::emit(t, argc, argv);
   return 0;
 }

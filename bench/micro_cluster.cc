@@ -1,0 +1,112 @@
+// Microbenchmark: multicore cluster serving throughput (google-benchmark).
+//
+// Sessions are independent, so a cluster's model throughput -- outputs per
+// unit of virtual time, where makespan is the busiest worker's firings --
+// should scale near-linearly with worker count while there are enough
+// sessions to go around. BM_ClusterServe sweeps 1/2/4 workers over four
+// tenant sessions and records two counters per run:
+//
+//   * model_throughput  -- outputs / virtual makespan (the paper-§7 scaling
+//                          claim; recorded in BENCH_PR5.json);
+//   * migrations        -- placements moved during the run.
+//
+// Wall-clock items/s measures simulator overhead (the virtual-time stepper
+// is serial by construction, so it does NOT scale with workers -- the model
+// counters are the scaling story). BM_ParallelPool covers the E14-style
+// component-parallel simulator on the same WorkerPool substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.h"
+#include "partition/dag_greedy.h"
+#include "partition/pipeline_dp.h"
+#include "runtime/worker_pool.h"
+#include "util/rng.h"
+#include "workloads/pipelines.h"
+#include "workloads/random_dag.h"
+
+namespace {
+
+using namespace ccs;
+
+constexpr std::int64_t kM = 1024;
+constexpr std::int64_t kTicks = 16;
+constexpr std::int64_t kItemsPerTick = 256;
+constexpr std::int32_t kTenants = 4;
+
+/// Four independent pipeline sessions served for kTicks steady ticks.
+void BM_ClusterServe(benchmark::State& state) {
+  const auto workers = static_cast<std::int32_t>(state.range(0));
+  const auto g = workloads::uniform_pipeline(12, 200);
+  const auto p = partition::pipeline_optimal_partition(g, 3 * kM).partition;
+  std::int64_t outputs = 0;
+  double model_throughput = 0.0;
+  std::int64_t migrations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ClusterOptions opts;
+    opts.workers = workers;
+    opts.l1 = {4 * kM, 8};
+    opts.llc_words = 16 * kM;
+    opts.placement = "affinity";
+    core::Cluster cluster(opts);
+    core::StreamOptions sopts;
+    sopts.engine.per_node_attribution = false;
+    for (std::int32_t t = 0; t < kTenants; ++t) {
+      cluster.admit("t" + std::to_string(t), g, p, sopts, kM);
+    }
+    state.ResumeTiming();
+    for (std::int64_t tick = 0; tick < kTicks; ++tick) {
+      for (core::TenantId t = 0; t < cluster.tenant_count(); ++t) {
+        cluster.push(t, kItemsPerTick);
+      }
+      cluster.rebalance();
+      cluster.run_until_idle();
+    }
+    cluster.drain_all();
+    const auto report = cluster.report();
+    outputs += report.aggregate.sink_firings;
+    migrations = report.migrations;
+    model_throughput = report.makespan() > 0
+                           ? static_cast<double>(report.aggregate.sink_firings) /
+                                 static_cast<double>(report.makespan())
+                           : 0.0;
+  }
+  state.SetItemsProcessed(outputs);
+  state.counters["model_throughput"] = model_throughput;
+  state.counters["migrations"] = static_cast<double>(migrations);
+}
+BENCHMARK(BM_ClusterServe)->Arg(1)->Arg(2)->Arg(4);
+
+/// E14-style component-parallel simulation on the WorkerPool substrate.
+void BM_ParallelPool(benchmark::State& state) {
+  const auto workers = static_cast<std::int32_t>(state.range(0));
+  Rng rng(1414);
+  workloads::LayeredSpec spec;
+  spec.layers = 4;
+  spec.width = 6;
+  spec.state_lo = 150;
+  spec.state_hi = 300;
+  spec.edge_prob = 0.15;
+  const auto g = workloads::layered_homogeneous_dag(spec, rng);
+  const auto p = partition::dag_greedy_partition(g, 900);
+  std::int64_t outputs = 0;
+  double model_throughput = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::WorkerPool pool(runtime::WorkerPoolOptions{workers, {4096, 8}, 65536});
+    state.ResumeTiming();
+    const auto r = core::simulate_parallel_on_pool(g, p, 128, pool, 4096);
+    outputs += r.outputs;
+    model_throughput = r.makespan > 0 ? static_cast<double>(r.outputs) /
+                                            static_cast<double>(r.makespan)
+                                      : 0.0;
+  }
+  state.SetItemsProcessed(outputs);
+  state.counters["model_throughput"] = model_throughput;
+}
+BENCHMARK(BM_ParallelPool)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster.h"
 #include "core/experiment.h"
 #include "partition/registry.h"
+#include "workloads/arrivals.h"
 #include "schedule/registry.h"
 #include "util/args.h"
 #include "util/table.h"
@@ -54,6 +56,15 @@ int main(int argc, char** argv) {
   args.add_int("threads", 1, "worker threads for the sweep");
   args.add_int("repetitions", 1, "measurements per cell (engine reuse + rebind)");
   args.add_double("sim-factor", 4.0, "simulate on sim-factor * M (memory augmentation)");
+  args.add_string("cluster-arrivals", "",
+                  "comma-separated arrival keys enabling multicore cluster cells");
+  args.add_string("cluster-workers", "1,2,4", "comma-separated cluster worker counts");
+  args.add_string("cluster-tenants", "4", "comma-separated cluster tenant counts");
+  args.add_string("cluster-placements", "round-robin",
+                  "comma-separated placement registry keys");
+  args.add_int("cluster-ticks", 64, "arrival ticks per cluster cell");
+  args.add_int("cluster-llc-factor", 8,
+               "shared LLC as a multiple of the per-worker L1 (0 = no LLC)");
   args.add_flag("csv", "emit CSV");
   args.add_flag("json", "emit JSON");
   args.add_flag("list", "list registry keys and exit");
@@ -67,6 +78,10 @@ int main(int argc, char** argv) {
       for (const auto& k : partition::Registry::global().keys()) std::cout << " " << k;
       std::cout << "\nbaselines:";
       for (const auto& k : schedule::Registry::global().keys()) std::cout << " " << k;
+      std::cout << "\narrivals:";
+      for (const auto& k : workloads::ArrivalRegistry::global().keys()) std::cout << " " << k;
+      std::cout << "\nplacements:";
+      for (const auto& k : core::PlacementRegistry::global().keys()) std::cout << " " << k;
       std::cout << "\n";
       return 0;
     }
@@ -85,6 +100,18 @@ int main(int argc, char** argv) {
     spec.target_outputs = args.get_int("outputs");
     spec.repetitions = static_cast<std::int32_t>(args.get_int("repetitions"));
     spec.sim_capacity_factor = args.get_double("sim-factor");
+    spec.cluster.arrivals = split_csv(args.get_string("cluster-arrivals"));
+    spec.cluster.worker_counts.clear();
+    for (const auto& w : split_csv(args.get_string("cluster-workers"))) {
+      spec.cluster.worker_counts.push_back(static_cast<std::int32_t>(std::stoi(w)));
+    }
+    spec.cluster.tenant_counts.clear();
+    for (const auto& t : split_csv(args.get_string("cluster-tenants"))) {
+      spec.cluster.tenant_counts.push_back(static_cast<std::int32_t>(std::stoi(t)));
+    }
+    spec.cluster.placements = split_csv(args.get_string("cluster-placements"));
+    spec.cluster.ticks = args.get_int("cluster-ticks");
+    spec.cluster.llc_factor = args.get_int("cluster-llc-factor");
 
     const core::Experiment experiment(spec);
     const auto result =
@@ -104,7 +131,10 @@ int main(int argc, char** argv) {
                    Align::kRight, Align::kRight, Align::kLeft});
       for (const auto& c : result.cells) {
         t.add_row({c.workload, Table::num(c.cache.capacity_words),
-                   c.strategy + (c.is_baseline ? " (baseline)" : ""),
+                   c.is_cluster ? c.placement + " (cluster " +
+                                      std::to_string(c.workers) + "w x " +
+                                      std::to_string(c.tenants) + "t)"
+                                : c.strategy + (c.is_baseline ? " (baseline)" : ""),
                    Table::num(c.t_multiplier),
                    c.ok && !c.is_baseline
                        ? Table::num(static_cast<std::int64_t>(c.components))

@@ -1,0 +1,444 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/stats.h"
+
+namespace ccs::core {
+
+namespace {
+
+/// Shared "pure load balance" rule: least busy, then fewest tenants, then
+/// the session's current worker, then lowest id (every tie must break
+/// deterministically -- the cluster's repeat-run guarantee rides on it).
+/// The current worker's tenant count excludes the session being placed:
+/// moving it elsewhere would not lighten the current worker by more than
+/// the session itself, so an equally-loaded target is never worth a move.
+WorkerId pick_least_loaded(const PlacementRequest& request,
+                           const std::vector<ClusterWorkerStatus>& workers) {
+  const auto effective_tenants = [&](const ClusterWorkerStatus& w) {
+    return w.id == request.current ? w.tenants - 1 : w.tenants;
+  };
+  const ClusterWorkerStatus* best = nullptr;
+  for (const ClusterWorkerStatus& w : workers) {
+    if (best == nullptr) {
+      best = &w;
+      continue;
+    }
+    if (w.busy != best->busy) {
+      if (w.busy < best->busy) best = &w;
+      continue;
+    }
+    if (effective_tenants(w) != effective_tenants(*best)) {
+      if (effective_tenants(w) < effective_tenants(*best)) best = &w;
+      continue;
+    }
+    if (w.id == request.current && best->id != request.current) best = &w;
+  }
+  return best->id;
+}
+
+/// Static striping: admissions cycle through workers; a placed session
+/// never moves (the zero-migration baseline).
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  WorkerId place(const PlacementRequest& request,
+                 const std::vector<ClusterWorkerStatus>& workers) override {
+    if (request.current != kNoWorker) return request.current;
+    const WorkerId w = static_cast<WorkerId>(
+        next_ % static_cast<std::int64_t>(workers.size()));
+    ++next_;
+    return w;
+  }
+
+ private:
+  std::int64_t next_ = 0;
+};
+
+/// Follow the busy-time balance wherever it points, ignoring cache state --
+/// the pure load-balance extreme of the paper's §7 trade; every move pays
+/// real reload misses.
+class LeastLoadedPlacement final : public PlacementPolicy {
+ public:
+  WorkerId place(const PlacementRequest& request,
+                 const std::vector<ClusterWorkerStatus>& workers) override {
+    return pick_least_loaded(request, workers);
+  }
+};
+
+/// Communication/cache affinity: the worker whose private L1 holds the most
+/// of the session's working set wins; the current worker wins residency
+/// ties, so a warm session never bounces between equally-warm workers. A
+/// cold session (no blocks resident anywhere) falls back to least-loaded.
+class AffinityPlacement final : public PlacementPolicy {
+ public:
+  WorkerId place(const PlacementRequest& request,
+                 const std::vector<ClusterWorkerStatus>& workers) override {
+    WorkerId best = kNoWorker;
+    std::int64_t best_resident = 0;
+    for (const ClusterWorkerStatus& w : workers) {
+      const auto slot = static_cast<std::size_t>(w.id);
+      const std::int64_t resident =
+          slot < request.resident_blocks.size() ? request.resident_blocks[slot] : 0;
+      const bool warmer = resident > best_resident;
+      const bool tied_at_current =
+          resident == best_resident && resident > 0 && w.id == request.current;
+      if (warmer || tied_at_current) {
+        best = w.id;
+        best_resident = resident;
+      }
+    }
+    return best != kNoWorker ? best : pick_least_loaded(request, workers);
+  }
+};
+
+void write_cache_stats_json(std::ostream& os, const iomodel::CacheStats& s) {
+  os << "{\"accesses\": " << s.accesses << ", \"hits\": " << s.hits
+     << ", \"misses\": " << s.misses << ", \"writebacks\": " << s.writebacks << "}";
+}
+
+}  // namespace
+
+PlacementRegistry& PlacementRegistry::global() {
+  static PlacementRegistry instance;
+  static const bool initialized = (register_builtin_placements(instance), true);
+  (void)initialized;
+  return instance;
+}
+
+void register_builtin_placements(PlacementRegistry& r) {
+  r.add("round-robin",
+        {[] { return std::make_unique<RoundRobinPlacement>(); },
+         "static striping at admission; a placed session never migrates"});
+  r.add("least-loaded",
+        {[] { return std::make_unique<LeastLoadedPlacement>(); },
+         "follow the busy-time balance, ignoring cache state (pays reloads)"});
+  r.add("affinity",
+        {[] { return std::make_unique<AffinityPlacement>(); },
+         "keep a session on the worker whose private cache holds its working "
+         "set; least-loaded when cold"});
+}
+
+std::int64_t ClusterReport::makespan() const {
+  std::int64_t worst = 0;
+  for (const ClusterWorkerReport& w : workers) worst = std::max(worst, w.busy);
+  return worst;
+}
+
+double ClusterReport::imbalance() const {
+  std::vector<std::int64_t> busy;
+  busy.reserve(workers.size());
+  for (const ClusterWorkerReport& w : workers) busy.push_back(w.busy);
+  return busy_imbalance(busy);
+}
+
+void ClusterReport::write_json(std::ostream& os) const {
+  std::ostringstream balance;
+  balance << std::setprecision(15) << imbalance();
+  os << "{\n  \"placement\": \"" << json_escape(placement) << "\""
+     << ", \"workers\": " << workers.size() << ", \"steps\": " << steps
+     << ", \"rounds\": " << rounds << ", \"migrations\": " << migrations
+     << ", \"makespan\": " << makespan() << ", \"imbalance\": " << balance.str()
+     << ",\n  \"aggregate\": {\"accesses\": " << aggregate.cache.accesses
+     << ", \"hits\": " << aggregate.cache.hits
+     << ", \"misses\": " << aggregate.cache.misses
+     << ", \"writebacks\": " << aggregate.cache.writebacks
+     << ", \"firings\": " << aggregate.firings
+     << ", \"source_firings\": " << aggregate.source_firings
+     << ", \"sink_firings\": " << aggregate.sink_firings
+     << ", \"state_misses\": " << aggregate.state_misses
+     << ", \"channel_misses\": " << aggregate.channel_misses
+     << ", \"io_misses\": " << aggregate.io_misses << "},\n  \"llc\": ";
+  write_cache_stats_json(os, llc);
+  os << ",\n  \"worker_table\": [";
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    os << (w == 0 ? "\n" : ",\n") << "    {\"worker\": " << w
+       << ", \"busy\": " << workers[w].busy << ", \"steps\": " << workers[w].steps
+       << ", \"tenants\": " << workers[w].tenants << ", \"l1\": ";
+    write_cache_stats_json(os, workers[w].l1);
+    os << "}";
+  }
+  os << "\n  ],\n  \"tenants\": [";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const ClusterTenantReport& t = tenants[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << json_escape(t.name) << "\""
+       << ", \"worker\": " << t.worker << ", \"steps\": " << t.steps
+       << ", \"outputs\": " << t.outputs << ", \"migrations\": " << t.migrations
+       << ", \"accesses\": " << t.totals.cache.accesses
+       << ", \"misses\": " << t.totals.cache.misses
+       << ", \"writebacks\": " << t.totals.cache.writebacks
+       << ", \"firings\": " << t.totals.firings
+       << ", \"source_firings\": " << t.totals.source_firings
+       << ", \"sink_firings\": " << t.totals.sink_firings << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+Cluster::Cluster(ClusterOptions options, const PlacementRegistry* registry)
+    : options_(std::move(options)),
+      pool_(runtime::WorkerPoolOptions{options_.workers, options_.l1,
+                                       options_.llc_words}) {
+  const PlacementRegistry& reg =
+      registry != nullptr ? *registry : PlacementRegistry::global();
+  policy_ = reg.find(options_.placement).build();
+  workers_.resize(static_cast<std::size_t>(pool_.size()));
+}
+
+TenantId Cluster::admit(std::string name, const sdf::SdfGraph& g,
+                        const partition::Partition& p, StreamOptions options,
+                        std::int64_t m) {
+  CCS_EXPECTS(!name.empty(), "tenant name must be non-empty");
+  CCS_EXPECTS(m >= 0, "tenant cache share must be non-negative");
+  for (const Tenant& t : tenants_) {
+    if (t.name == name) throw Error("tenant '" + name + "' is already admitted");
+  }
+  // Same banding scheme as core::Server: each session gets a disjoint
+  // 2^36-word slab below the engines' external-stream bands, so sessions
+  // contend for cache blocks on whatever worker (and shared LLC) they meet
+  // instead of silently aliasing. The band count bounds the fleet.
+  if (tenants_.size() >= 16) {
+    throw Error("cluster is full: at most 16 tenants per cluster");
+  }
+  options.engine.address_base =
+      static_cast<std::int64_t>(tenants_.size()) * (std::int64_t{1} << 36);
+
+  PlacementRequest request;
+  request.tenant = static_cast<TenantId>(tenants_.size());
+  request.current = kNoWorker;
+  for (sdf::NodeId v = 0; v < g.node_count(); ++v) request.state_words += g.node(v).state;
+  request.resident_blocks.assign(static_cast<std::size_t>(pool_.size()), 0);
+  const WorkerId home = checked_placement(request);
+
+  Tenant t;
+  t.name = std::move(name);
+  t.worker = home;
+  t.stream = std::make_unique<Stream>(g, p, pool_.worker_cache(home),
+                                      m > 0 ? m : options_.l1.capacity_words,
+                                      std::move(options));
+  tenants_.push_back(std::move(t));
+  const TenantId id = static_cast<TenantId>(tenants_.size() - 1);
+  workers_[static_cast<std::size_t>(home)].tenants.push_back(id);
+  return id;
+}
+
+TenantId Cluster::admit(std::string name, const Planner& planner, const Plan& plan,
+                        StreamOptions options) {
+  return admit(std::move(name), planner.graph(), plan.partition, std::move(options));
+}
+
+Cluster::Tenant& Cluster::tenant(TenantId id) {
+  CCS_EXPECTS(id >= 0 && id < tenant_count(), "tenant id out of range");
+  return tenants_[static_cast<std::size_t>(id)];
+}
+
+const Cluster::Tenant& Cluster::tenant(TenantId id) const {
+  CCS_EXPECTS(id >= 0 && id < tenant_count(), "tenant id out of range");
+  return tenants_[static_cast<std::size_t>(id)];
+}
+
+Stream& Cluster::stream(TenantId id) { return *tenant(id).stream; }
+
+const Stream& Cluster::stream(TenantId id) const { return *tenant(id).stream; }
+
+const std::string& Cluster::tenant_name(TenantId id) const { return tenant(id).name; }
+
+WorkerId Cluster::worker_of(TenantId id) const { return tenant(id).worker; }
+
+std::int64_t Cluster::push(TenantId id, std::int64_t items) {
+  Tenant& t = tenant(id);
+  const std::int64_t accepted = t.stream->push(items);
+  if (accepted > 0) t.idle = false;  // new arrivals may unblock the session
+  return accepted;
+}
+
+bool Cluster::worker_step(WorkerId w) {
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+  const std::size_t n = worker.tenants.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    const std::size_t slot = (worker.cursor + probe) % n;
+    Tenant& t = tenants_[static_cast<std::size_t>(worker.tenants[slot])];
+    if (t.idle) continue;
+    const StepResult r = t.stream->step();
+    if (!r.progressed()) {
+      t.idle = true;  // stays blocked until the controlling thread pushes
+      continue;
+    }
+    worker.busy += r.run.firings;
+    ++worker.steps;
+    worker.cursor = (slot + 1) % n;
+    return true;
+  }
+  return false;
+}
+
+std::int64_t Cluster::step_round() {
+  std::int64_t progressed = 0;
+  for (WorkerId w = 0; w < worker_count(); ++w) {
+    if (worker_step(w)) ++progressed;
+  }
+  if (progressed > 0) ++rounds_;
+  return progressed;
+}
+
+std::int64_t Cluster::run_until_idle() {
+  std::int64_t executed = 0;
+  for (std::int64_t p = step_round(); p > 0; p = step_round()) executed += p;
+  return executed;
+}
+
+std::int64_t Cluster::run_threads() {
+  // One thread per worker, each running the same worker_step loop virtual
+  // time runs. A worker touches only its own Worker struct, its own
+  // tenants, and its own private L1; the shared LLC is the only contended
+  // state and SharedLlcCache serializes it internally.
+  std::vector<std::int64_t> executed(static_cast<std::size_t>(worker_count()), 0);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(worker_count()));
+  for (WorkerId w = 0; w < worker_count(); ++w) {
+    threads.emplace_back([this, w, &executed] {
+      while (worker_step(w)) ++executed[static_cast<std::size_t>(w)];
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::int64_t total = 0;
+  for (const std::int64_t e : executed) total += e;
+  return total;
+}
+
+std::vector<ClusterWorkerStatus> Cluster::worker_statuses() const {
+  std::vector<ClusterWorkerStatus> out;
+  out.reserve(static_cast<std::size_t>(worker_count()));
+  for (WorkerId w = 0; w < worker_count(); ++w) {
+    const Worker& worker = workers_[static_cast<std::size_t>(w)];
+    ClusterWorkerStatus s;
+    s.id = w;
+    s.busy = worker.busy;
+    s.steps = worker.steps;
+    s.tenants = static_cast<std::int32_t>(worker.tenants.size());
+    s.misses = pool_.worker_stats(w).misses;
+    out.push_back(s);
+  }
+  return out;
+}
+
+PlacementRequest Cluster::request_for(TenantId id) const {
+  const Tenant& t = tenant(id);
+  PlacementRequest request;
+  request.tenant = id;
+  request.current = t.worker;
+  // Module-state words, matching what admit() reports before the stream
+  // exists -- a policy thresholding on state_words must see one number.
+  const sdf::SdfGraph& g = t.stream->graph();
+  for (sdf::NodeId v = 0; v < g.node_count(); ++v) request.state_words += g.node(v).state;
+  request.resident_blocks.reserve(static_cast<std::size_t>(pool_.size()));
+  for (WorkerId w = 0; w < worker_count(); ++w) {
+    request.resident_blocks.push_back(pool_.resident_blocks(w, t.stream->layout_span()));
+  }
+  return request;
+}
+
+WorkerId Cluster::checked_placement(const PlacementRequest& request) {
+  const WorkerId w = policy_->place(request, worker_statuses());
+  CCS_CHECK(w >= 0 && w < worker_count(), "placement policy picked an invalid worker");
+  return w;
+}
+
+std::int64_t Cluster::rebalance() {
+  std::int64_t moved = 0;
+  for (TenantId id = 0; id < tenant_count(); ++id) {
+    const WorkerId target = checked_placement(request_for(id));
+    if (target != tenant(id).worker) {
+      migrate(id, target);
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+void Cluster::migrate(TenantId id, WorkerId target) {
+  CCS_EXPECTS(target >= 0 && target < worker_count(), "worker id out of range");
+  Tenant& t = tenant(id);
+  if (t.worker == target) return;
+  Worker& from = workers_[static_cast<std::size_t>(t.worker)];
+  from.tenants.erase(std::find(from.tenants.begin(), from.tenants.end(), id));
+  from.cursor = 0;  // keep the rotation point deterministic after the edit
+  Worker& to = workers_[static_cast<std::size_t>(target)];
+  to.tenants.push_back(id);
+  t.stream->migrate_cache(pool_.worker_cache(target));
+  t.worker = target;
+  ++t.migrations;
+  ++migrations_;
+}
+
+void Cluster::drain_all() {
+  for (TenantId id = 0; id < tenant_count(); ++id) {
+    Tenant& t = tenants_[static_cast<std::size_t>(id)];
+    const runtime::RunResult r = t.stream->drain();
+    // Drain firings execute on the tenant's worker cache; account them
+    // there so makespan covers the tail work too.
+    workers_[static_cast<std::size_t>(t.worker)].busy += r.firings;
+    t.idle = true;
+  }
+}
+
+ClusterReport Cluster::report() const {
+  ClusterReport report;
+  report.placement = options_.placement;
+  report.rounds = rounds_;
+  report.migrations = migrations_;
+  for (const Tenant& t : tenants_) {
+    ClusterTenantReport row;
+    row.name = t.name;
+    row.totals = t.stream->stats();
+    row.steps = t.stream->steps();
+    row.outputs = t.stream->outputs_produced();
+    row.worker = t.worker;
+    row.migrations = t.migrations;
+    report.aggregate += row.totals;
+    report.tenants.push_back(std::move(row));
+  }
+  for (WorkerId w = 0; w < worker_count(); ++w) {
+    const Worker& worker = workers_[static_cast<std::size_t>(w)];
+    ClusterWorkerReport row;
+    row.l1 = pool_.worker_stats(w);
+    row.busy = worker.busy;
+    row.steps = worker.steps;
+    row.tenants = static_cast<std::int32_t>(worker.tenants.size());
+    report.steps += worker.steps;
+    report.workers.push_back(row);
+  }
+  if (pool_.has_llc()) report.llc = pool_.llc_stats();
+  return report;
+}
+
+schedule::ParallelResult simulate_parallel_on_pool(const sdf::SdfGraph& g,
+                                                   const partition::Partition& p,
+                                                   std::int64_t m,
+                                                   runtime::WorkerPool& pool,
+                                                   std::int64_t min_outputs) {
+  std::vector<iomodel::CacheSim*> caches;
+  caches.reserve(static_cast<std::size_t>(pool.size()));
+  for (std::int32_t w = 0; w < pool.size(); ++w) caches.push_back(&pool.worker_cache(w));
+  iomodel::CacheStats llc_before;
+  if (pool.has_llc()) llc_before = pool.llc_stats();
+  schedule::ParallelResult result =
+      schedule::simulate_parallel_homogeneous(g, p, m, caches, min_outputs);
+  if (pool.has_llc()) {
+    const iomodel::CacheStats& now = pool.llc_stats();
+    result.llc.accesses = now.accesses - llc_before.accesses;
+    result.llc.hits = now.hits - llc_before.hits;
+    result.llc.misses = now.misses - llc_before.misses;
+    result.llc.writebacks = now.writebacks - llc_before.writebacks;
+  }
+  return result;
+}
+
+}  // namespace ccs::core

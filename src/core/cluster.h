@@ -1,0 +1,306 @@
+// core::Cluster -- a multicore serving cluster: sharded workers with
+// affinity-aware placement over a shared cache hierarchy.
+//
+// Where core::Server timeshares many Stream sessions over ONE cache, a
+// Cluster spreads them over a runtime::WorkerPool: N workers, each owning a
+// private L1, all backed by an optional shared LLC. Placement -- which
+// worker serves which session -- is the multicore question the paper's §7
+// remark raises and the communication-affinity literature (Zaourar et al.,
+// Kandemir & Chen) studies: keep a session's working set on the worker
+// whose cache already holds it, because migration pays real reload misses.
+// Placement is a pluggable, string-keyed PlacementRegistry rule:
+//
+//   * "round-robin"  -- static striping at admission; never migrates.
+//   * "least-loaded" -- follow the busy-time balance; migrates freely and
+//                       pays the reloads (the pure load-balance extreme).
+//   * "affinity"     -- rank workers by how many of the session's blocks
+//                       their private L1 holds; a session stays put while
+//                       its working set is warm (the cache-conscious
+//                       extreme; falls back to least-loaded when cold).
+//
+// Execution supports two modes through ONE code path (worker_step):
+//
+//   * Virtual time: workers advance in lockstep rounds, in worker-id order
+//     (step_round / run_until_idle). Fully deterministic -- repeat runs are
+//     counter-identical down to the shared-LLC statistics.
+//   * Threads: run_threads() drives each worker's identical step loop on
+//     its own std::thread. A worker's private counters depend only on its
+//     own step sequence, which both modes share, so per-tenant RunResults
+//     match virtual time exactly and sum to the same aggregates (the golden
+//     gate in tests/core/cluster_test.cc); only the shared-LLC interleaving
+//     (hence LLC hit/miss split) varies with real concurrency.
+//
+// Determinism contract: admissions, pushes, rebalance(), and drain_all()
+// happen on the controlling thread while the cluster is quiescent; tenant
+// sessions never communicate, and each is pinned to exactly one worker
+// between rebalance points. Every tenant engine gets a disjoint 2^36-word
+// address band, so sessions contend for cache blocks instead of aliasing,
+// on whichever worker they land.
+//
+//   core::ClusterOptions copts;
+//   copts.workers = 4;
+//   copts.l1 = {4096, 8};
+//   copts.llc_words = 64 * 1024;
+//   copts.placement = "affinity";
+//   core::Cluster cluster(copts);
+//   const auto a = cluster.admit("radio", g1, plan1.partition);
+//   const auto b = cluster.admit("sort", g2, plan2.partition);
+//   cluster.push(a, 4096); cluster.push(b, 4096);
+//   cluster.run_until_idle();          // or cluster.run_threads()
+//   cluster.drain_all();
+//   cluster.report().write_json(std::cout);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/server.h"
+#include "core/stream.h"
+#include "runtime/run_result.h"
+#include "runtime/worker_pool.h"
+#include "schedule/parallel.h"
+#include "util/registry.h"
+
+namespace ccs::core {
+
+/// Dense worker index within one Cluster. Valid ids are 0..worker_count()-1.
+using WorkerId = std::int32_t;
+
+inline constexpr WorkerId kNoWorker = -1;
+
+/// What a placement policy may consult about one worker.
+struct ClusterWorkerStatus {
+  WorkerId id = kNoWorker;
+  std::int64_t busy = 0;     ///< Firings executed on this worker so far.
+  std::int64_t steps = 0;    ///< Tenant steps granted so far.
+  std::int32_t tenants = 0;  ///< Sessions currently placed here.
+  std::int64_t misses = 0;   ///< Private-L1 misses so far.
+};
+
+/// One placement question: where should this session run?
+struct PlacementRequest {
+  TenantId tenant = kNoTenant;
+  WorkerId current = kNoWorker;  ///< Present placement; kNoWorker at admission.
+  std::int64_t state_words = 0;  ///< The session's module-state footprint.
+
+  /// Per worker: blocks of the session's state/ring span resident in that
+  /// worker's private L1 -- the affinity signal. All-zero for a new or cold
+  /// session.
+  std::vector<std::int64_t> resident_blocks;
+};
+
+/// A placement rule. place() must return a valid worker id; policies may
+/// keep state (a striping cursor) but must be deterministic -- the
+/// cluster's repeat-run guarantee depends on it. Returning
+/// `request.current` (when not kNoWorker) means "stay put"; anything else
+/// migrates the session, which costs real reloads.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual WorkerId place(const PlacementRequest& request,
+                         const std::vector<ClusterWorkerStatus>& workers) = 0;
+};
+
+/// A named placement-policy factory.
+struct PlacementEntry {
+  std::function<std::unique_ptr<PlacementPolicy>()> build;
+  std::string description;  ///< One-line description for listings.
+};
+
+/// String-keyed placement table ("round-robin", "least-loaded",
+/// "affinity"). See util/registry.h for the shared add/find/keys semantics.
+class PlacementRegistry : public NamedRegistry<PlacementEntry> {
+ public:
+  PlacementRegistry()
+      : NamedRegistry<PlacementEntry>("placement policy", "placement policies") {}
+
+  /// The process-wide registry, seeded with the built-ins on first use.
+  static PlacementRegistry& global();
+};
+
+/// Registers the built-in placement policies into `r` (used by global();
+/// exposed so tests can build isolated registries).
+void register_builtin_placements(PlacementRegistry& r);
+
+/// Cluster knobs.
+struct ClusterOptions {
+  std::int32_t workers = 2;                 ///< Worker (core) count.
+  iomodel::CacheConfig l1{4096, 8};         ///< Per-worker private cache.
+  std::int64_t llc_words = 0;               ///< Shared LLC; 0 = none.
+  std::string placement = "round-robin";    ///< PlacementRegistry key.
+};
+
+/// One tenant's slice of a ClusterReport.
+struct ClusterTenantReport {
+  std::string name;
+  runtime::RunResult totals;      ///< Whole-session counters (private-L1 level).
+  std::int64_t steps = 0;         ///< Component executions granted.
+  std::int64_t outputs = 0;       ///< Sink firings produced.
+  WorkerId worker = kNoWorker;    ///< Final placement.
+  std::int64_t migrations = 0;    ///< Times this session changed workers.
+};
+
+/// One worker's slice of a ClusterReport.
+struct ClusterWorkerReport {
+  iomodel::CacheStats l1;     ///< The worker's private-cache counters.
+  std::int64_t busy = 0;      ///< Firings executed here (unit work per firing).
+  std::int64_t steps = 0;     ///< Tenant steps granted here.
+  std::int32_t tenants = 0;   ///< Sessions placed here at report time.
+};
+
+/// Per-tenant, per-worker, and aggregate accounting of a cluster run.
+struct ClusterReport {
+  std::vector<ClusterTenantReport> tenants;  ///< Admission order.
+  std::vector<ClusterWorkerReport> workers;  ///< Worker-id order.
+  runtime::RunResult aggregate;              ///< Sum over tenants.
+  iomodel::CacheStats llc;                   ///< Shared-LLC counters (zero when absent).
+  std::string placement;                     ///< Policy key the cluster ran.
+  std::int64_t steps = 0;                    ///< Tenant steps across all workers.
+  std::int64_t rounds = 0;                   ///< Virtual-time rounds advanced.
+  std::int64_t migrations = 0;               ///< Total migrations performed.
+
+  /// Model completion time: tenants are independent and pinned, so each
+  /// worker's schedule compresses back-to-back and the last worker to
+  /// finish defines the makespan (max busy over workers).
+  std::int64_t makespan() const;
+
+  /// Busy-time balance, same definition as ParallelResult::imbalance
+  /// (worst/average; 0.0 for an idle pool).
+  double imbalance() const;
+
+  /// One stable-keyed JSON object (counters lossless) so cluster runs can
+  /// be diffed in CI like sweep CSVs. In thread mode the "llc" block
+  /// depends on real interleaving; diff virtual-time reports.
+  void write_json(std::ostream& os) const;
+};
+
+/// Multicore streaming cluster: a worker pool, many Stream sessions, one
+/// placement rule. The controlling thread owns admission, pushes,
+/// rebalancing, and draining; execution happens in virtual time (fully
+/// deterministic) or on real worker threads (per-tenant deterministic).
+class Cluster {
+ public:
+  /// Throws MemoryError for a degenerate L1 geometry and ccs::Error for bad
+  /// worker/LLC parameters or an unknown placement key. `registry` defaults
+  /// to PlacementRegistry::global(); it must outlive the cluster.
+  explicit Cluster(ClusterOptions options, const PlacementRegistry* registry = nullptr);
+
+  /// Admits a new session and places it via the placement policy. `m` is
+  /// the cache size the session's Theta(M) buffers amortize against; 0 (the
+  /// default) uses the private-L1 capacity -- a session plans for the
+  /// worker cache it will actually run on.
+  TenantId admit(std::string name, const sdf::SdfGraph& g, const partition::Partition& p,
+                 StreamOptions options = {}, std::int64_t m = 0);
+
+  /// Convenience: admit a Planner plan (graph and partition from the plan's
+  /// session).
+  TenantId admit(std::string name, const Planner& planner, const Plan& plan,
+                 StreamOptions options = {});
+
+  std::int32_t tenant_count() const noexcept {
+    return static_cast<std::int32_t>(tenants_.size());
+  }
+  std::int32_t worker_count() const noexcept { return pool_.size(); }
+
+  /// The tenant's session (for pushes, polls, or direct stepping).
+  Stream& stream(TenantId id);
+  const Stream& stream(TenantId id) const;
+
+  const std::string& tenant_name(TenantId id) const;
+
+  /// Worker currently serving tenant `id`.
+  WorkerId worker_of(TenantId id) const;
+
+  /// Forwards arrivals to tenant `id`; returns how many were accepted.
+  std::int64_t push(TenantId id, std::int64_t items);
+
+  /// Virtual time: one lockstep round -- every worker, in id order, offers
+  /// one step to its own tenants (rotating among them). Returns how many
+  /// workers progressed (0 = the whole cluster is idle).
+  std::int64_t step_round();
+
+  /// Virtual time: rounds until every worker is idle; returns tenant steps
+  /// executed.
+  std::int64_t run_until_idle();
+
+  /// Thread mode: the identical per-worker step loop, one std::thread per
+  /// worker, joined before returning; returns tenant steps executed.
+  /// Per-tenant counters are bit-identical to virtual time (see the file
+  /// comment); only shared-LLC statistics depend on real interleaving.
+  std::int64_t run_threads();
+
+  /// Consults the placement policy for every tenant (admission order) while
+  /// quiescent and migrates those told to move. Returns migrations made.
+  std::int64_t rebalance();
+
+  /// Moves tenant `id` to worker `target` (no-op when already there). The
+  /// session's tokens and counters survive; its working set must reload.
+  void migrate(TenantId id, WorkerId target);
+
+  /// Drains every tenant, in admission order (on the controlling thread;
+  /// drain firings still execute against the tenant's worker cache).
+  void drain_all();
+
+  /// Per-tenant totals, per-worker occupancy, their sum, and the shared
+  /// hierarchy's counters.
+  ClusterReport report() const;
+
+  runtime::WorkerPool& pool() noexcept { return pool_; }
+
+ private:
+  struct Tenant {
+    std::string name;
+    std::unique_ptr<Stream> stream;
+    WorkerId worker = kNoWorker;
+    bool idle = false;  ///< Known-blocked until new arrivals.
+    std::int64_t migrations = 0;
+  };
+
+  /// Per-worker scheduling state. In thread mode each worker's struct is
+  /// touched only by its own thread (tenants never span workers).
+  struct Worker {
+    std::vector<TenantId> tenants;  ///< Placement, in arrival-at-worker order.
+    std::size_t cursor = 0;         ///< Rotation point into `tenants`.
+    std::int64_t busy = 0;          ///< Firings executed here.
+    std::int64_t steps = 0;         ///< Tenant steps granted here.
+  };
+
+  /// THE shared code path of both execution modes: one multiplexing
+  /// decision on worker `w` -- rotate to the next non-idle tenant placed
+  /// here, step it, account the work. False when every tenant here is idle.
+  bool worker_step(WorkerId w);
+
+  Tenant& tenant(TenantId id);
+  const Tenant& tenant(TenantId id) const;
+  PlacementRequest request_for(TenantId id) const;
+  std::vector<ClusterWorkerStatus> worker_statuses() const;
+  WorkerId checked_placement(const PlacementRequest& request);
+
+  ClusterOptions options_;
+  runtime::WorkerPool pool_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::vector<Tenant> tenants_;
+  std::vector<Worker> workers_;
+  std::int64_t rounds_ = 0;
+  std::int64_t migrations_ = 0;
+};
+
+/// schedule::simulate_parallel_homogeneous as a thin client of the cluster
+/// subsystem: the pool's private worker L1s stand in for the simulator's
+/// hand-rolled per-worker caches. Per-worker counters are bit-identical to
+/// the flat-cache simulator on the same geometry (the golden gate in
+/// tests/schedule/parallel_golden_test.cc); a pool with a shared LLC
+/// additionally fills ParallelResult::llc with the shared-level traffic of
+/// this run. The pool's caches are used as-is (pass a fresh pool for a
+/// cold-cache measurement) and must match the graph's intended geometry.
+schedule::ParallelResult simulate_parallel_on_pool(const sdf::SdfGraph& g,
+                                                   const partition::Partition& p,
+                                                   std::int64_t m,
+                                                   runtime::WorkerPool& pool,
+                                                   std::int64_t min_outputs);
+
+}  // namespace ccs::core

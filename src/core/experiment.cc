@@ -10,10 +10,12 @@
 #include <thread>
 #include <utility>
 
+#include "core/cluster.h"
 #include "core/server.h"
 #include "iomodel/cache.h"
 #include "schedule/schedule.h"
 #include "util/error.h"
+#include "util/format.h"
 
 namespace ccs::core {
 
@@ -27,30 +29,6 @@ std::string csv_escape(const std::string& s) {
     out += c;
   }
   out += '"';
-  return out;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::ostringstream hex;
-          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(static_cast<unsigned char>(c));
-          out += hex.str();
-        } else {
-          out += c;
-        }
-    }
-  }
   return out;
 }
 
@@ -68,8 +46,11 @@ struct Experiment::Coordinate {
   std::string strategy;
   bool is_baseline = false;
   bool is_online = false;
+  bool is_cluster = false;
   std::string arrival;
   std::int32_t tenants = 0;
+  std::int32_t workers = 0;
+  std::string placement;
   std::int64_t t_multiplier = 1;
 };
 
@@ -94,6 +75,15 @@ std::vector<Experiment::Coordinate> Experiment::enumerate() const {
   const std::vector<std::int32_t> tenant_counts = spec_.online.tenant_counts.empty()
                                                       ? std::vector<std::int32_t>{1}
                                                       : spec_.online.tenant_counts;
+  const std::vector<std::int32_t> cluster_tenant_counts =
+      spec_.cluster.tenant_counts.empty() ? std::vector<std::int32_t>{1}
+                                          : spec_.cluster.tenant_counts;
+  const std::vector<std::int32_t> cluster_worker_counts =
+      spec_.cluster.worker_counts.empty() ? std::vector<std::int32_t>{1}
+                                          : spec_.cluster.worker_counts;
+  const std::vector<std::string> cluster_placements =
+      spec_.cluster.placements.empty() ? std::vector<std::string>{"round-robin"}
+                                       : spec_.cluster.placements;
   for (const std::string& workload : spec_.workloads) {
     for (const iomodel::CacheConfig& cache : spec_.caches) {
       for (const std::string& partitioner : spec_.partitioners) {
@@ -126,6 +116,24 @@ std::vector<Experiment::Coordinate> Experiment::enumerate() const {
           out.push_back(std::move(at));
         }
       }
+      for (const std::string& arrival : spec_.cluster.arrivals) {
+        for (const std::int32_t tenants : cluster_tenant_counts) {
+          for (const std::int32_t workers : cluster_worker_counts) {
+            for (const std::string& placement : cluster_placements) {
+              Coordinate at;
+              at.workload = workload;
+              at.cache = cache;
+              at.strategy = spec_.cluster.online_policy;
+              at.is_cluster = true;
+              at.arrival = arrival;
+              at.tenants = tenants;
+              at.workers = workers;
+              at.placement = placement;
+              out.push_back(std::move(at));
+            }
+          }
+        }
+      }
     }
   }
   return out;
@@ -140,12 +148,19 @@ CellResult Experiment::run_cell(const Coordinate& at) const {
   cell.strategy = at.strategy;
   cell.is_baseline = at.is_baseline;
   cell.is_online = at.is_online;
+  cell.is_cluster = at.is_cluster;
   cell.arrival = at.arrival;
   cell.tenants = at.tenants;
+  cell.workers = at.workers;
+  cell.placement = at.placement;
   cell.t_multiplier = at.t_multiplier;
   try {
-    if (at.is_online) {
-      run_online_cell(at, cell);
+    if (at.is_online || at.is_cluster) {
+      if (at.is_online) {
+        run_online_cell(at, cell);
+      } else {
+        run_cluster_cell(at, cell);
+      }
       cell.misses_per_input = cell.run.misses_per_input();
       cell.misses_per_output = cell.run.misses_per_output();
       cell.ok = true;
@@ -300,18 +315,111 @@ void Experiment::run_online_cell(const Coordinate& at, CellResult& cell) const {
   cell.buffer_words = buffer_words;
 }
 
+void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const {
+  const sdf::SdfGraph graph = workloads_->build(at.workload);
+
+  // Plan once with the "auto" partitioner; every tenant serves this plan.
+  PlannerOptions opts;
+  opts.cache = at.cache;
+  opts.c_bound = spec_.c_bound;
+  opts.partitioner = "auto";
+  opts.exact_max_nodes = spec_.exact_max_nodes;
+  opts.seed = spec_.seed;
+  const Planner planner(graph, opts, partitioners_);
+  const Plan plan = planner.plan();
+  cell.resolved_strategy = at.strategy == "auto"
+                               ? schedule::resolve_auto_policy(graph)
+                               : at.strategy;
+  cell.components = plan.partition.num_components;
+  cell.bandwidth = plan.partition_bandwidth.to_double();
+  cell.schedule_name = "cluster:" + cell.resolved_strategy;
+
+  // Each worker's private L1 gets the augmented geometry (same regime as
+  // the batch/online cells); the optional shared LLC scales off it.
+  iomodel::CacheConfig l1 = at.cache;
+  l1.capacity_words = std::max<std::int64_t>(
+      at.cache.block_words,
+      static_cast<std::int64_t>(std::llround(spec_.sim_capacity_factor *
+                                             static_cast<double>(at.cache.capacity_words))));
+  validate_cache_geometry(l1);
+
+  const workloads::ArrivalPattern pattern = arrivals_->build(at.arrival);
+  std::int64_t buffer_words = 0;  // per-tenant budget under the online rule
+  const auto measure = [&]() {
+    ClusterOptions cluster_opts;
+    cluster_opts.workers = at.workers;
+    cluster_opts.l1 = l1;
+    cluster_opts.llc_words =
+        spec_.cluster.llc_factor > 0 ? spec_.cluster.llc_factor * l1.capacity_words : 0;
+    cluster_opts.placement = at.placement;
+    Cluster cluster(cluster_opts);
+    StreamOptions stream_opts;
+    stream_opts.policy = at.strategy;
+    stream_opts.engine = spec_.engine;
+    for (std::int32_t t = 0; t < at.tenants; ++t) {
+      cluster.admit("tenant-" + std::to_string(t), graph, plan.partition, stream_opts,
+                    at.cache.capacity_words);
+    }
+    if (cluster.tenant_count() > 0) {
+      buffer_words = 0;
+      for (const std::int64_t cap : cluster.stream(0).policy().buffer_caps()) {
+        buffer_words += cap;
+      }
+    }
+    // Deterministic virtual time; the placement policy is consulted at
+    // every tick boundary, so migration-happy policies actually migrate.
+    for (std::int64_t tick = 0; tick < spec_.cluster.ticks; ++tick) {
+      const std::int64_t items = pattern(tick);
+      for (TenantId t = 0; t < cluster.tenant_count(); ++t) cluster.push(t, items);
+      cluster.rebalance();
+      cluster.run_until_idle();
+    }
+    cluster.drain_all();
+    return cluster.report();
+  };
+
+  ClusterReport report = measure();
+  for (std::int32_t rep = 1; rep < spec_.repetitions; ++rep) {
+    const ClusterReport again = measure();
+    bool identical = again.aggregate == report.aggregate &&
+                     again.llc == report.llc &&
+                     again.migrations == report.migrations &&
+                     again.tenants.size() == report.tenants.size();
+    for (std::size_t i = 0; identical && i < report.tenants.size(); ++i) {
+      identical = again.tenants[i].totals == report.tenants[i].totals &&
+                  again.tenants[i].worker == report.tenants[i].worker;
+    }
+    if (!identical) {
+      throw Error("repetition " + std::to_string(rep) +
+                  " diverged from the first measurement (nondeterministic placement "
+                  "policy or runtime)");
+    }
+  }
+  cell.run = report.aggregate;
+  cell.server_steps = report.steps;
+  cell.cluster_makespan = report.makespan();
+  cell.cluster_migrations = report.migrations;
+  cell.buffer_words = buffer_words;
+}
+
 ExperimentResult Experiment::run(std::int32_t threads) const {
   if (spec_.workloads.empty()) throw Error("sweep spec lists no workloads");
   if (spec_.caches.empty()) throw Error("sweep spec lists no cache geometries");
   if (spec_.partitioners.empty() && spec_.baselines.empty() &&
-      spec_.online.arrivals.empty()) {
+      spec_.online.arrivals.empty() && spec_.cluster.arrivals.empty()) {
     throw Error(
         "sweep spec lists no partitioners, no baseline schedulers, and no "
-        "online arrival patterns");
+        "online or cluster arrival patterns");
   }
   if (spec_.repetitions < 1) throw Error("sweep spec needs repetitions >= 1");
   if (!spec_.online.arrivals.empty() && spec_.online.ticks < 1) {
     throw Error("online sweep needs ticks >= 1");
+  }
+  if (!spec_.cluster.arrivals.empty()) {
+    if (spec_.cluster.ticks < 1) throw Error("cluster sweep needs ticks >= 1");
+    if (spec_.cluster.llc_factor < 0) {
+      throw Error("cluster sweep needs llc_factor >= 0");
+    }
   }
 
   const std::vector<Coordinate> grid = enumerate();
@@ -353,16 +461,21 @@ std::size_t ExperimentResult::failed_cells() const {
 }
 
 void ExperimentResult::write_csv(std::ostream& os) const {
-  os << "workload,cache_words,block_words,strategy,kind,arrival,tenants,t_multiplier,ok,"
+  os << "workload,cache_words,block_words,strategy,kind,arrival,tenants,workers,"
+        "placement,t_multiplier,ok,"
         "resolved,components,batch_t,bandwidth,predicted_misses_per_input,schedule,"
         "buffer_words,accesses,misses,writebacks,firings,source_firings,sink_firings,"
         "state_misses,channel_misses,io_misses,misses_per_input,misses_per_output,"
-        "server_steps,error\n";
+        "server_steps,cluster_makespan,cluster_migrations,error\n";
   for (const CellResult& c : cells) {
     os << csv_escape(c.workload) << ',' << c.cache.capacity_words << ','
        << c.cache.block_words << ',' << csv_escape(c.strategy) << ','
-       << (c.is_online ? "online" : c.is_baseline ? "baseline" : "partitioned") << ','
-       << csv_escape(c.arrival) << ',' << c.tenants << ',' << c.t_multiplier << ','
+       << (c.is_cluster  ? "cluster"
+           : c.is_online ? "online"
+           : c.is_baseline ? "baseline"
+                           : "partitioned")
+       << ',' << csv_escape(c.arrival) << ',' << c.tenants << ',' << c.workers << ','
+       << csv_escape(c.placement) << ',' << c.t_multiplier << ','
        << (c.ok ? 1 : 0) << ',' << csv_escape(c.resolved_strategy) << ',' << c.components
        << ',' << c.batch_t << ',' << fmt_double(c.bandwidth) << ','
        << fmt_double(c.predicted_misses_per_input) << ',' << csv_escape(c.schedule_name)
@@ -371,7 +484,8 @@ void ExperimentResult::write_csv(std::ostream& os) const {
        << c.run.source_firings << ',' << c.run.sink_firings << ',' << c.run.state_misses
        << ',' << c.run.channel_misses << ',' << c.run.io_misses << ','
        << fmt_double(c.misses_per_input) << ',' << fmt_double(c.misses_per_output) << ','
-       << c.server_steps << ',' << csv_escape(c.error) << '\n';
+       << c.server_steps << ',' << c.cluster_makespan << ',' << c.cluster_migrations
+       << ',' << csv_escape(c.error) << '\n';
   }
 }
 
@@ -386,10 +500,20 @@ void ExperimentResult::write_json(std::ostream& os) const {
        << ", \"block_words\": " << c.cache.block_words
        << ", \"strategy\": \"" << json_escape(c.strategy) << "\""
        << ", \"kind\": \""
-       << (c.is_online ? "online" : c.is_baseline ? "baseline" : "partitioned") << "\"";
-    if (c.is_online) {
+       << (c.is_cluster  ? "cluster"
+           : c.is_online ? "online"
+           : c.is_baseline ? "baseline"
+                           : "partitioned")
+       << "\"";
+    if (c.is_online || c.is_cluster) {
       os << ", \"arrival\": \"" << json_escape(c.arrival) << "\""
          << ", \"tenants\": " << c.tenants << ", \"server_steps\": " << c.server_steps;
+    }
+    if (c.is_cluster) {
+      os << ", \"workers\": " << c.workers << ", \"placement\": \""
+         << json_escape(c.placement) << "\""
+         << ", \"cluster_makespan\": " << c.cluster_makespan
+         << ", \"cluster_migrations\": " << c.cluster_migrations;
     }
     os << ", \"t_multiplier\": " << c.t_multiplier
        << ", \"ok\": " << (c.ok ? "true" : "false");

@@ -51,17 +51,39 @@ struct OnlineSweep {
   std::int64_t ticks = 128;                   ///< Pushes per tenant.
 };
 
+/// The multicore slice of a sweep: arrival patterns x tenant counts x
+/// worker counts x placement policies, each cell a core::Cluster scenario
+/// (N identical tenants of the workload sharded over W workers, fed by the
+/// pattern for `ticks` ticks in deterministic virtual time with a
+/// rebalance() at every tick boundary, then drained). Empty `arrivals`
+/// disables cluster cells.
+struct ClusterSweep {
+  std::vector<std::string> arrivals;          ///< workloads::ArrivalRegistry keys.
+  std::vector<std::int32_t> tenant_counts{2};
+  std::vector<std::int32_t> worker_counts{2};
+  std::vector<std::string> placements{"round-robin"};  ///< PlacementRegistry keys.
+  std::string online_policy = "auto";         ///< schedule::OnlineRegistry key.
+
+  /// Shared-LLC capacity as a multiple of the (augmented) per-worker L1;
+  /// 0 runs the workers on independent flat caches.
+  std::int64_t llc_factor = 8;
+
+  std::int64_t ticks = 128;                   ///< Pushes per tenant.
+};
+
 /// The sweep grid, by registry keys. Cells are enumerated workload-major:
 /// for each workload, for each cache, every partitioner at every
 /// t_multiplier, then every baseline scheduler (baselines have no batch
 /// parameter, so they run once per cache), then every online cell (arrival
-/// pattern x tenant count).
+/// pattern x tenant count), then every cluster cell (arrival pattern x
+/// tenant count x worker count x placement).
 struct SweepSpec {
   std::vector<std::string> workloads;      ///< workloads::Registry keys.
   std::vector<iomodel::CacheConfig> caches;
   std::vector<std::string> partitioners;   ///< partition::Registry keys or "auto".
   std::vector<std::string> baselines;      ///< schedule::Registry keys (optional).
   OnlineSweep online;                      ///< Online-serving cells (optional).
+  ClusterSweep cluster;                    ///< Multicore cluster cells (optional).
   std::vector<std::int64_t> t_multipliers{1};
 
   double c_bound = 3.0;                ///< Planner state bound (c * M).
@@ -92,8 +114,11 @@ struct CellResult {
   std::string strategy;             ///< Partitioner key or baseline scheduler key.
   bool is_baseline = false;         ///< True: strategy names a baseline scheduler.
   bool is_online = false;           ///< True: an online multi-tenant serving cell.
-  std::string arrival;              ///< Arrival-pattern key (online cells only).
-  std::int32_t tenants = 0;         ///< Tenant count (online cells only).
+  bool is_cluster = false;          ///< True: a multicore cluster cell.
+  std::string arrival;              ///< Arrival-pattern key (online/cluster cells).
+  std::int32_t tenants = 0;         ///< Tenant count (online/cluster cells).
+  std::int32_t workers = 0;         ///< Worker count (cluster cells only).
+  std::string placement;            ///< Placement key (cluster cells only).
   std::int64_t t_multiplier = 1;    ///< Always 1 for baselines and online cells.
 
   // -- outcome --
@@ -114,7 +139,9 @@ struct CellResult {
                                     ///< the shared-cache aggregate).
   double misses_per_input = 0.0;
   double misses_per_output = 0.0;
-  std::int64_t server_steps = 0;    ///< Multiplexing decisions (online cells).
+  std::int64_t server_steps = 0;    ///< Multiplexing decisions (online/cluster cells).
+  std::int64_t cluster_makespan = 0;    ///< Max worker busy time (cluster cells).
+  std::int64_t cluster_migrations = 0;  ///< Sessions moved (cluster cells).
 };
 
 /// Structured sweep output.
@@ -163,6 +190,7 @@ class Experiment {
   std::vector<Coordinate> enumerate() const;
   CellResult run_cell(const Coordinate& at) const;
   void run_online_cell(const Coordinate& at, CellResult& cell) const;
+  void run_cluster_cell(const Coordinate& at, CellResult& cell) const;
 
   SweepSpec spec_;
   const workloads::Registry* workloads_;

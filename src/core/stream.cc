@@ -99,6 +99,14 @@ runtime::RunResult Stream::drain() {
   return result;
 }
 
+void Stream::migrate_cache(iomodel::CacheSim& cache) {
+  CCS_EXPECTS(owned_cache_ == nullptr,
+              "cannot migrate a session that owns its cache (standalone streams "
+              "are single-placement by construction)");
+  engine_->migrate_cache(cache);
+  cache_ = &cache;
+}
+
 std::int64_t Stream::inputs_consumed() const { return engine_->fired(policy_->source()); }
 
 std::int64_t Stream::outputs_produced() const { return engine_->fired(policy_->sink()); }

@@ -131,6 +131,17 @@ class Stream {
   /// Component executions performed (progressing step() calls).
   std::int64_t steps() const noexcept { return steps_; }
 
+  /// Live migration onto a different cache (core::Cluster moving this
+  /// session to another worker's private L1): tokens, counters, and credit
+  /// all survive; the working set does not, so the next steps pay real
+  /// reload misses. Only valid for shared-cache sessions -- a session that
+  /// owns its cache has nowhere else to go. `cache` must outlive the stream.
+  void migrate_cache(iomodel::CacheSim& cache);
+
+  /// Address range of this session's state and channel rings (placement
+  /// affinity probes rank workers by how much of it their cache holds).
+  iomodel::Region layout_span() const noexcept { return engine_->layout_span(); }
+
   const schedule::OnlinePolicy& policy() const noexcept { return *policy_; }
   const sdf::SdfGraph& graph() const noexcept { return graph_; }
   iomodel::CacheSim& cache() noexcept { return *cache_; }

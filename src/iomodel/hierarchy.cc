@@ -43,4 +43,31 @@ std::int64_t HierarchyCache::level_words(std::size_t level) const {
   return levels_[level]->config().capacity_words;
 }
 
+SharedLlcCache::SharedLlcCache(const CacheConfig& private_config, LruCache* llc,
+                               std::mutex* llc_mutex)
+    : CacheSim(private_config.block_words),
+      l1_(private_config),
+      llc_(llc),
+      llc_mutex_(llc_mutex) {
+  CCS_EXPECTS((llc == nullptr) == (llc_mutex == nullptr),
+              "a shared LLC and its mutex must be provided together");
+  if (llc_ != nullptr) {
+    CCS_EXPECTS(llc_->config().block_words == private_config.block_words,
+                "shared LLC must use the private level's block size");
+    CCS_EXPECTS(llc_->config().capacity_words > private_config.capacity_words,
+                "shared LLC must be strictly larger than a private level");
+  }
+}
+
+void SharedLlcCache::access(Addr addr, AccessMode mode) {
+  CCS_EXPECTS(addr >= 0, "negative address");
+  probe_block(block_of(addr), mode);
+}
+
+void SharedLlcCache::do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) {
+  for (BlockId b = first, e = first + count; b != e; ++b) probe_block(b, mode);
+}
+
+void SharedLlcCache::flush() { l1_.flush(); }
+
 }  // namespace ccs::iomodel

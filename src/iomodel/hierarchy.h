@@ -15,6 +15,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "iomodel/cache.h"
@@ -60,6 +61,57 @@ class HierarchyCache final : public CacheSim {
   }
 
   std::vector<std::unique_ptr<LruCache>> levels_;
+};
+
+/// One core's view of a multicore cache hierarchy: a private LRU level in
+/// front of an optional *shared* last-level cache owned by someone else
+/// (runtime::WorkerPool). The private level behaves exactly like a
+/// standalone LruCache of the same geometry -- stats(), config(),
+/// contains(), and replacement state are the private level's, so per-worker
+/// counters are independent of who else shares the LLC. A private miss
+/// additionally probes-and-installs the shared LLC (inclusive, like
+/// HierarchyCache) under `llc_mutex`, which is the only synchronization a
+/// pool of worker threads needs: private levels are single-owner by
+/// construction.
+///
+/// With a null LLC the class degenerates to a plain private LRU, so one
+/// worker type covers both the flat-cache and shared-LLC configurations.
+class SharedLlcCache final : public CacheSim {
+ public:
+  /// `llc` and `llc_mutex` must either both be provided (and outlive this
+  /// cache) or both be null; the LLC must share the private block size and
+  /// be strictly larger than the private level.
+  SharedLlcCache(const CacheConfig& private_config, LruCache* llc, std::mutex* llc_mutex);
+
+  void access(Addr addr, AccessMode mode) override;
+  void flush() override;  ///< Flushes the private level only; the LLC is shared.
+  bool contains(Addr addr) const override { return l1_.contains(addr); }
+
+  /// The private level's counters/geometry: a worker's own traffic.
+  const CacheStats& stats() const override { return l1_.stats(); }
+  const CacheConfig& config() const override { return l1_.config(); }
+
+  bool has_llc() const noexcept { return llc_ != nullptr; }
+
+  /// Resident blocks in the private level (for placement-affinity probes).
+  LruCache& private_level() noexcept { return l1_; }
+  const LruCache& private_level() const noexcept { return l1_; }
+
+ protected:
+  void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override;
+
+ private:
+  /// Private probe; on a miss, forwards to the shared LLC under the mutex.
+  void probe_block(BlockId block, AccessMode mode) {
+    if (!l1_.access_block(block, mode) && llc_ != nullptr) {
+      const std::lock_guard<std::mutex> lock(*llc_mutex_);
+      llc_->access_block(block, mode);
+    }
+  }
+
+  LruCache l1_;
+  LruCache* llc_;
+  std::mutex* llc_mutex_;
 };
 
 }  // namespace ccs::iomodel

@@ -300,4 +300,11 @@ void Engine::rebind_cache(iomodel::CacheSim& cache) {
   last_stats_ = cache.stats();
 }
 
+void Engine::migrate_cache(iomodel::CacheSim& cache) {
+  CCS_EXPECTS(cache.config().block_words == cache_->config().block_words,
+              "migration requires the same block size (the memory layout depends on it)");
+  cache_ = &cache;
+  last_stats_ = cache.stats();
+}
+
 }  // namespace ccs::runtime

@@ -170,9 +170,28 @@ class Engine {
   /// engine. `cache` must outlive the engine.
   void rebind_cache(iomodel::CacheSim& cache);
 
+  /// Live migration: rebinds the engine to a different cache of the same
+  /// block size WITHOUT touching execution state. Tokens, firing counters,
+  /// classified-miss totals, input credit, and external cursors all
+  /// survive; only the cache-statistics delta baseline is re-anchored on
+  /// the new cache. The new cache does not hold this engine's working set,
+  /// so the next firings pay real reload misses -- the multicore migration
+  /// cost core::Cluster models (contrast rebind_cache, which restarts the
+  /// run for sweep reuse). Call between run/take windows, never mid-run.
+  void migrate_cache(iomodel::CacheSim& cache);
+
   const sdf::SdfGraph& graph() const noexcept { return *graph_; }
   iomodel::CacheSim& cache() noexcept { return *cache_; }
   std::int64_t state_footprint() const noexcept { return state_words_; }
+
+  /// The address range holding this engine's state and channel rings (from
+  /// EngineOptions::address_base to the layout cursor; excludes the
+  /// external-stream bands). Placement-affinity probes rank workers by how
+  /// much of this span their private cache holds.
+  iomodel::Region layout_span() const noexcept {
+    return iomodel::Region{options_.address_base,
+                           layout_.footprint() - options_.address_base};
+  }
 
  private:
   /// One side of a module's channel connections, flattened for the hot

@@ -8,22 +8,11 @@
 #include "sdf/topology.h"
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/stats.h"
 
 namespace ccs::schedule {
 
-double ParallelResult::imbalance() const {
-  if (worker_busy.empty()) return 1.0;
-  std::int64_t total = 0;
-  std::int64_t worst = 0;
-  for (const auto b : worker_busy) {
-    total += b;
-    worst = std::max(worst, b);
-  }
-  if (total == 0) return 1.0;
-  const double average =
-      static_cast<double>(total) / static_cast<double>(worker_busy.size());
-  return static_cast<double>(worst) / average;
-}
+double ParallelResult::imbalance() const { return busy_imbalance(worker_busy); }
 
 namespace {
 
@@ -71,8 +60,34 @@ ParallelResult simulate_parallel_homogeneous(const sdf::SdfGraph& g,
                                              std::int64_t block_words, std::int32_t workers,
                                              std::int64_t min_outputs) {
   CCS_EXPECTS(workers >= 1, "need at least one worker");
-  CCS_EXPECTS(m > 0 && cache_words > 0 && block_words > 0 && min_outputs > 0,
+  CCS_EXPECTS(cache_words > 0 && block_words > 0,
               "invalid parallel simulation parameters");
+  std::vector<iomodel::LruCache> caches;
+  caches.reserve(static_cast<std::size_t>(workers));
+  std::vector<iomodel::CacheSim*> views;
+  views.reserve(static_cast<std::size_t>(workers));
+  for (std::int32_t w = 0; w < workers; ++w) {
+    caches.emplace_back(iomodel::CacheConfig{cache_words, block_words});
+  }
+  for (auto& cache : caches) views.push_back(&cache);
+  return simulate_parallel_homogeneous(g, p, m, views, min_outputs);
+}
+
+ParallelResult simulate_parallel_homogeneous(const sdf::SdfGraph& g,
+                                             const partition::Partition& p, std::int64_t m,
+                                             std::span<iomodel::CacheSim* const> worker_caches,
+                                             std::int64_t min_outputs) {
+  const std::int32_t workers = static_cast<std::int32_t>(worker_caches.size());
+  CCS_EXPECTS(workers >= 1, "need at least one worker");
+  for (const iomodel::CacheSim* cache : worker_caches) {
+    CCS_EXPECTS(cache != nullptr, "null worker cache");
+  }
+  const std::int64_t block_words = worker_caches.front()->config().block_words;
+  for (const iomodel::CacheSim* cache : worker_caches) {
+    CCS_EXPECTS(cache->config().block_words == block_words,
+                "worker caches must share one block size");
+  }
+  CCS_EXPECTS(m > 0 && min_outputs > 0, "invalid parallel simulation parameters");
   if (!g.is_homogeneous()) {
     throw Error("parallel component scheduling requires a homogeneous graph");
   }
@@ -124,12 +139,6 @@ ParallelResult simulate_parallel_homogeneous(const sdf::SdfGraph& g,
     return true;
   };
 
-  // Per-worker private caches and availability times.
-  std::vector<iomodel::LruCache> caches;
-  caches.reserve(static_cast<std::size_t>(workers));
-  for (std::int32_t w = 0; w < workers; ++w) {
-    caches.emplace_back(iomodel::CacheConfig{cache_words, block_words});
-  }
   ParallelResult result;
   result.workers = workers;
   result.worker_misses.assign(static_cast<std::size_t>(workers), 0);
@@ -154,7 +163,7 @@ ParallelResult simulate_parallel_homogeneous(const sdf::SdfGraph& g,
   // firing count (= execution time units). Memory effects happen here; the
   // token-count commit is done by the caller at completion time.
   auto execute = [&](std::int32_t c, std::int32_t w) -> std::int64_t {
-    iomodel::LruCache& cache = caches[static_cast<std::size_t>(w)];
+    iomodel::CacheSim& cache = *worker_caches[static_cast<std::size_t>(w)];
     const std::int64_t block = block_words;
     std::int64_t firings = 0;
     for (std::int64_t iter = 0; iter < m; ++iter) {
@@ -190,10 +199,10 @@ ParallelResult simulate_parallel_homogeneous(const sdf::SdfGraph& g,
           }
         }
         const std::int64_t misses_before =
-            caches[static_cast<std::size_t>(w)].stats().misses;
+            worker_caches[static_cast<std::size_t>(w)]->stats().misses;
         const std::int64_t duration = execute(c, w);
         result.worker_misses[static_cast<std::size_t>(w)] +=
-            caches[static_cast<std::size_t>(w)].stats().misses - misses_before;
+            worker_caches[static_cast<std::size_t>(w)]->stats().misses - misses_before;
         result.worker_busy[static_cast<std::size_t>(w)] += duration;
         ++result.worker_batches[static_cast<std::size_t>(w)];
         result.total_firings += duration;

@@ -22,8 +22,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "iomodel/cache.h"
 #include "partition/partition.h"
 #include "sdf/graph.h"
 
@@ -40,7 +42,14 @@ struct ParallelResult {
   std::vector<std::int64_t> worker_busy;      ///< Busy time units per worker.
   std::vector<std::int64_t> worker_batches;   ///< Component batches per worker.
 
-  /// Busy-time balance: worst worker / average (1.0 = perfect).
+  /// Shared-LLC counters when the run executed over a pool with a shared
+  /// last level (core::simulate_parallel_on_pool); all-zero otherwise.
+  iomodel::CacheStats llc;
+
+  /// Busy-time balance: worst worker / average of busy time (1.0 = perfect
+  /// balance). A pool that did no work at all -- no workers, or every
+  /// worker idle -- reports 0.0: "no imbalance" is the only meaningful
+  /// reading of an idle pool, and it keeps the value finite.
   double imbalance() const;
 };
 
@@ -53,6 +62,17 @@ ParallelResult simulate_parallel_homogeneous(const sdf::SdfGraph& g,
                                              const partition::Partition& p,
                                              std::int64_t m, std::int64_t cache_words,
                                              std::int64_t block_words, std::int32_t workers,
+                                             std::int64_t min_outputs);
+
+/// The same simulator against caller-provided per-worker caches (one per
+/// worker, all sharing one block size, typically fresh/cold). This is the
+/// seam the multicore serving subsystem plugs into: a runtime::WorkerPool's
+/// private L1s stand in for the hand-rolled caches above (bit-identical
+/// per-worker counters, since a private level's behaviour is independent of
+/// any shared level behind it). The caches must outlive the call.
+ParallelResult simulate_parallel_homogeneous(const sdf::SdfGraph& g,
+                                             const partition::Partition& p, std::int64_t m,
+                                             std::span<iomodel::CacheSim* const> worker_caches,
                                              std::int64_t min_outputs);
 
 }  // namespace ccs::schedule

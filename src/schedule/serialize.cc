@@ -1,5 +1,6 @@
 #include "schedule/serialize.h"
 
+#include <iomanip>
 #include <ostream>
 #include <sstream>
 
@@ -73,6 +74,42 @@ Schedule read_schedule(const sdf::SdfGraph& g, std::istream& is) {
 Schedule from_text(const sdf::SdfGraph& g, const std::string& text) {
   std::istringstream is(text);
   return read_schedule(g, is);
+}
+
+namespace {
+
+void write_int_array(std::ostream& os, const std::vector<std::int64_t>& values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void write_parallel_json(const ParallelResult& r, std::ostream& os) {
+  std::ostringstream imbalance;
+  imbalance << std::setprecision(15) << r.imbalance();
+  os << "{\"workers\": " << r.workers << ", \"makespan\": " << r.makespan
+     << ", \"total_misses\": " << r.total_misses
+     << ", \"total_firings\": " << r.total_firings << ", \"outputs\": " << r.outputs
+     << ", \"imbalance\": " << imbalance.str() << ", \"worker_misses\": ";
+  write_int_array(os, r.worker_misses);
+  os << ", \"worker_busy\": ";
+  write_int_array(os, r.worker_busy);
+  os << ", \"worker_batches\": ";
+  write_int_array(os, r.worker_batches);
+  os << ", \"llc\": {\"accesses\": " << r.llc.accesses << ", \"hits\": " << r.llc.hits
+     << ", \"misses\": " << r.llc.misses << ", \"writebacks\": " << r.llc.writebacks
+     << "}}";
+}
+
+std::string to_json(const ParallelResult& r) {
+  std::ostringstream os;
+  write_parallel_json(r, os);
+  return os.str();
 }
 
 }  // namespace ccs::schedule

@@ -20,6 +20,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "schedule/parallel.h"
 #include "schedule/schedule.h"
 #include "sdf/graph.h"
 
@@ -37,5 +38,15 @@ Schedule read_schedule(const sdf::SdfGraph& g, std::istream& is);
 
 /// Convenience: parse from a string.
 Schedule from_text(const sdf::SdfGraph& g, const std::string& text);
+
+/// Writes a ParallelResult as one JSON object with a stable key order and
+/// lossless integer counters, so E14-style parallel runs (and the
+/// pool-backed cluster reimplementation) can be diffed in CI exactly like
+/// sweep CSVs. The core::ClusterReport has a matching write_json of its own
+/// (it lives a layer up and cannot be serialized from here).
+void write_parallel_json(const ParallelResult& r, std::ostream& os);
+
+/// Convenience: result as a JSON string.
+std::string to_json(const ParallelResult& r);
 
 }  // namespace ccs::schedule

@@ -24,6 +24,30 @@ std::string format_count(std::int64_t v) {
   return {out.rbegin(), out.rend()};
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(static_cast<unsigned char>(c));
+          out += hex.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string format_words(std::int64_t words) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(1);

@@ -12,4 +12,10 @@ std::string format_count(std::int64_t v);
 /// Words -> "12 w", "4.0 Kw", "2.5 Mw" (sizes in this library are in words).
 std::string format_words(std::int64_t words);
 
+/// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+/// and control characters; everything else passes through byte-for-byte).
+/// The single escaping rule behind every JSON emitter in the library
+/// (core::ExperimentResult, core::ClusterReport).
+std::string json_escape(const std::string& s);
+
 }  // namespace ccs

@@ -28,4 +28,17 @@ double median(std::vector<double> values) {
   return (lo + hi) / 2.0;
 }
 
+double busy_imbalance(const std::vector<std::int64_t>& busy) {
+  if (busy.empty()) return 0.0;
+  std::int64_t total = 0;
+  std::int64_t worst = 0;
+  for (const std::int64_t b : busy) {
+    total += b;
+    worst = std::max(worst, b);
+  }
+  if (total == 0) return 0.0;
+  const double average = static_cast<double>(total) / static_cast<double>(busy.size());
+  return static_cast<double>(worst) / average;
+}
+
 }  // namespace ccs

@@ -41,4 +41,11 @@ double geometric_mean(const std::vector<double>& values);
 /// Median (of a copy; input unmodified). Returns 0 for an empty range.
 double median(std::vector<double> values);
 
+/// Busy-time balance of a worker pool: worst worker / average over `busy`
+/// (1.0 = perfect balance). An idle pool -- empty, or zero busy time
+/// everywhere -- reports 0.0, the only finite reading of "never ran". The
+/// single definition behind schedule::ParallelResult::imbalance and
+/// core::ClusterReport::imbalance.
+double busy_imbalance(const std::vector<std::int64_t>& busy);
+
 }  // namespace ccs

@@ -25,6 +25,14 @@ ArrivalPattern on_off_arrivals(std::int64_t per_tick, std::int64_t on, std::int6
   };
 }
 
+ArrivalPattern phase_shift_arrivals(ArrivalPattern base, std::int64_t shift) {
+  CCS_EXPECTS(base != nullptr, "phase shift needs a base pattern");
+  CCS_EXPECTS(shift >= 0, "phase shift must be non-negative");
+  return [base = std::move(base), shift](std::int64_t tick) {
+    return tick < shift ? 0 : base(tick - shift);
+  };
+}
+
 std::int64_t total_arrivals(const ArrivalPattern& pattern, std::int64_t ticks) {
   CCS_EXPECTS(ticks >= 0, "tick count must be non-negative");
   std::int64_t total = 0;
@@ -58,6 +66,9 @@ void register_builtin_arrivals(ArrivalRegistry& r) {
   r.add("on-off-16x48",
         {[] { return on_off_arrivals(16, 16, 48); },
          "16/tick for 16 ticks, then 48 ticks silent (25% duty cycle)"});
+  r.add("bursty-64-shift-8",
+        {[] { return phase_shift_arrivals(bursty_arrivals(64, 16), 8); },
+         "bursty-64 delayed half a period (stagger against bursty-64 tenants)"});
 }
 
 }  // namespace ccs::workloads

@@ -41,6 +41,14 @@ ArrivalPattern bursty_arrivals(std::int64_t burst, std::int64_t period);
 /// silent, repeating. Requires on >= 1, off >= 0.
 ArrivalPattern on_off_arrivals(std::int64_t per_tick, std::int64_t on, std::int64_t off);
 
+/// `base` delayed by `shift` ticks: nothing arrives before tick `shift`,
+/// then the base pattern plays from its own tick 0. Staggering the same
+/// burst pattern across a cluster's tenants (tenant i shifted by i *
+/// period / tenants) models out-of-phase sessions -- the regime where a
+/// multicore's workers can overlap different tenants' bursts instead of
+/// all stalling on the same silent ticks. Requires shift >= 0.
+ArrivalPattern phase_shift_arrivals(ArrivalPattern base, std::int64_t shift);
+
 /// Total arrivals over ticks [0, ticks).
 std::int64_t total_arrivals(const ArrivalPattern& pattern, std::int64_t ticks);
 
@@ -69,7 +77,7 @@ class ArrivalRegistry : public NamedRegistry<ArrivalEntry> {
 
 /// Registers the built-in patterns into `r` (used by global(); exposed so
 /// tests can build isolated registries): steady-1, steady-16, bursty-64,
-/// bursty-256, bursty-1024, on-off-8x8, on-off-16x48.
+/// bursty-256, bursty-1024, on-off-8x8, on-off-16x48, bursty-64-shift-8.
 void register_builtin_arrivals(ArrivalRegistry& r);
 
 }  // namespace ccs::workloads

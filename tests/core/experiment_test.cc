@@ -41,6 +41,9 @@ void expect_cells_identical(const ExperimentResult& a, const ExperimentResult& b
     EXPECT_EQ(x.run.cache.misses, y.run.cache.misses) << i;
     EXPECT_EQ(x.run.sink_firings, y.run.sink_firings) << i;
     EXPECT_TRUE(x.run == y.run) << i;
+    EXPECT_EQ(x.server_steps, y.server_steps) << i;
+    EXPECT_EQ(x.cluster_makespan, y.cluster_makespan) << i;
+    EXPECT_EQ(x.cluster_migrations, y.cluster_migrations) << i;
   }
 }
 
@@ -236,6 +239,72 @@ TEST(Experiment, OnlineCellFailuresAreRecordedNotThrown) {
     EXPECT_FALSE(cell.ok);
     EXPECT_NE(cell.error.find("no online rule applies"), std::string::npos);
   }
+}
+
+/// A small multicore grid: one pipeline workload, one cache, one arrival
+/// shape, two tenants, 1-and-2 workers, two placement policies.
+SweepSpec cluster_spec() {
+  SweepSpec spec;
+  spec.workloads = {"uniform-pipeline"};
+  spec.caches = {{1024, 8}};
+  spec.cluster.arrivals = {"bursty-64"};
+  spec.cluster.tenant_counts = {2};
+  spec.cluster.worker_counts = {1, 2};
+  spec.cluster.placements = {"round-robin", "affinity"};
+  spec.cluster.ticks = 16;
+  return spec;
+}
+
+TEST(Experiment, ClusterCellsRunAndRecordMulticoreCoordinates) {
+  const Experiment e(cluster_spec());
+  // 1 workload x 1 cache x (1 arrival x 1 tenant count x 2 workers x 2 placements).
+  EXPECT_EQ(e.cell_count(), 4u);
+  const auto result = e.run(1);
+  EXPECT_EQ(result.failed_cells(), 0u);
+  for (const CellResult& cell : result.cells) {
+    EXPECT_TRUE(cell.is_cluster);
+    EXPECT_FALSE(cell.placement.empty());
+    EXPECT_GT(cell.workers, 0);
+    EXPECT_EQ(cell.schedule_name, "cluster:pipeline-half-full");
+    EXPECT_GT(cell.run.cache.misses, 0);
+    EXPECT_GT(cell.server_steps, 0);
+    EXPECT_GT(cell.cluster_makespan, 0);
+    // Every tenant consumed the whole pattern and drained it through.
+    const std::int64_t per_tenant = workloads::total_arrivals(
+        workloads::ArrivalRegistry::global().build(cell.arrival),
+        cluster_spec().cluster.ticks);
+    EXPECT_EQ(cell.run.sink_firings, per_tenant * cell.tenants) << cell.placement;
+  }
+  // Same placement, more workers: independent tenants spread out, so the
+  // model makespan (max worker busy) can only improve.
+  const CellResult& one_worker = result.cells[0];   // 1 worker, round-robin
+  const CellResult& two_workers = result.cells[2];  // 2 workers, round-robin
+  ASSERT_EQ(one_worker.placement, two_workers.placement);
+  EXPECT_LE(two_workers.cluster_makespan, one_worker.cluster_makespan);
+}
+
+TEST(Experiment, ClusterCellsAreThreadCountIndependentAndRepeatable) {
+  auto spec = cluster_spec();
+  spec.repetitions = 2;        // in-cell repeat-run tripwire
+  spec.partitioners = {"auto"};  // mix batch and cluster cells in one grid
+  const Experiment e(spec);
+  expect_cells_identical(e.run(1), e.run(3));
+}
+
+TEST(Experiment, ClusterCsvAndJsonCarryWorkerAndPlacementColumns) {
+  const auto result = Experiment(cluster_spec()).run(1);
+  std::ostringstream csv;
+  result.write_csv(csv);
+  EXPECT_NE(csv.str().find(",workers,placement,"), std::string::npos);
+  EXPECT_NE(csv.str().find(",cluster_makespan,cluster_migrations,"), std::string::npos);
+  EXPECT_NE(csv.str().find("cluster"), std::string::npos);
+  EXPECT_NE(csv.str().find("affinity"), std::string::npos);
+  std::ostringstream json;
+  result.write_json(json);
+  EXPECT_NE(json.str().find("\"kind\": \"cluster\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"placement\": \"affinity\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"workers\": 2"), std::string::npos);
+  EXPECT_NE(json.str().find("\"cluster_makespan\""), std::string::npos);
 }
 
 TEST(Experiment, OnlineCsvAndJsonCarryArrivalAndTenantColumns) {

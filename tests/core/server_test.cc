@@ -10,6 +10,7 @@
 
 #include "partition/pipeline_dp.h"
 #include "util/error.h"
+#include "workloads/arrivals.h"
 #include "workloads/pipelines.h"
 
 namespace ccs::core {
@@ -139,6 +140,67 @@ TEST(Server, SharedCacheInterferenceRaisesMissesOverSoloRuns) {
   EXPECT_EQ(solo.sink_firings, contended.sink_firings);
   // ...but sharing the cache cannot reduce its misses.
   EXPECT_GE(contended.cache.misses, solo.cache.misses);
+}
+
+TEST(Server, DrainedTenantUnderMissAwareDoesNotStarveOthers) {
+  // The hazard: a drained tenant's last_miss_rate can be 0.0 (it ran out of
+  // input mid-step), which is exactly what miss-aware prefers. It must be
+  // parked as idle -- not re-picked forever -- so fed tenants keep making
+  // progress.
+  const auto g = workloads::uniform_pipeline(8, 100);
+  const auto p = partition::pipeline_optimal_partition(g, 3 * 512).partition;
+  ServerOptions opts;
+  opts.cache = CacheConfig{2048, 8};
+  opts.tenant_policy = "miss-aware";
+  Server server(opts);
+  const TenantId drained = server.admit("drained", g, p);
+  const TenantId fed_b = server.admit("fed-b", g, p);
+  const TenantId fed_c = server.admit("fed-c", g, p);
+
+  // Warm all three, then stop feeding the first.
+  for (const TenantId t : {drained, fed_b, fed_c}) server.push(t, 32);
+  server.run_until_idle();
+  for (int round = 0; round < 6; ++round) {
+    server.push(fed_b, 48);
+    server.push(fed_c, 48);
+    const std::int64_t steps = server.run_until_idle();
+    EXPECT_GT(steps, 0) << "fed tenants starved in round " << round;
+  }
+  server.drain_all();
+  const ServerReport report = server.report();
+  EXPECT_EQ(report.tenants[static_cast<std::size_t>(drained)].outputs, 32);
+  EXPECT_EQ(report.tenants[static_cast<std::size_t>(fed_b)].outputs, 32 + 6 * 48);
+  EXPECT_EQ(report.tenants[static_cast<std::size_t>(fed_c)].outputs, 32 + 6 * 48);
+}
+
+TEST(Server, PerTenantSumsEqualSharedAggregateUnderBurstyArrivals) {
+  // The accounting invariant must survive maximally clumped arrivals: some
+  // tenants idle for whole bursts while others monopolize the cache.
+  const auto g1 = workloads::uniform_pipeline(10, 150);
+  const auto g2 = workloads::heavy_tail_pipeline(12, 32, 400, 4);
+  const auto p1 = partition::pipeline_optimal_partition(g1, 3 * 512).partition;
+  const auto p2 = partition::pipeline_optimal_partition(g2, 3 * 512).partition;
+  const auto burst_a = workloads::bursty_arrivals(128, 3);
+  const auto burst_b = workloads::bursty_arrivals(192, 5);
+  for (const std::string policy : {"round-robin", "miss-aware"}) {
+    ServerOptions opts;
+    opts.cache = CacheConfig{2048, 8};
+    opts.tenant_policy = policy;
+    Server server(opts);
+    const TenantId a = server.admit("a", g1, p1);
+    const TenantId b = server.admit("b", g2, p2);
+    for (std::int64_t tick = 0; tick < 16; ++tick) {
+      server.push(a, burst_a(tick));
+      server.push(b, burst_b(tick));
+      server.run_until_idle();
+    }
+    server.drain_all();
+    const ServerReport report = server.report();
+    runtime::RunResult sum;
+    for (const auto& t : report.tenants) sum += t.totals;
+    EXPECT_EQ(sum.cache, report.shared_cache) << policy;
+    EXPECT_EQ(sum, report.aggregate) << policy;
+  }
 }
 
 TEST(Server, RejectsDuplicateTenantNamesAndUnknownPolicies) {

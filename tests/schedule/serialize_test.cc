@@ -58,5 +58,45 @@ TEST(ScheduleSerialize, GarbageLineRejected) {
   EXPECT_THROW(from_text(g, "bogus\n"), ParseError);
 }
 
+TEST(ParallelJson, CarriesEveryCounterLosslessly) {
+  ParallelResult r;
+  r.workers = 2;
+  r.makespan = 62848;
+  r.total_misses = 68461;
+  r.total_firings = 109568;
+  r.outputs = 4096;
+  r.worker_misses = {36290, 32171};
+  r.worker_busy = {62976, 46592};
+  r.worker_batches = {132, 131};
+  r.llc.accesses = 68461;
+  r.llc.hits = 66985;
+  r.llc.misses = 1476;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"workers\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"makespan\": 62848"), std::string::npos);
+  EXPECT_NE(json.find("\"total_misses\": 68461"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_misses\": [36290, 32171]"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_busy\": [62976, 46592]"), std::string::npos);
+  EXPECT_NE(json.find("\"worker_batches\": [132, 131]"), std::string::npos);
+  EXPECT_NE(json.find("\"llc\": {\"accesses\": 68461, \"hits\": 66985, "
+                      "\"misses\": 1476, \"writebacks\": 0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"imbalance\": "), std::string::npos);
+}
+
+TEST(ParallelJson, IsRepeatRunStableForIdenticalResults) {
+  // The CI determinism job diffs these byte-for-byte: identical results
+  // must serialize identically, and distinct results must not.
+  ParallelResult a;
+  a.workers = 1;
+  a.worker_busy = {10};
+  a.worker_misses = {3};
+  a.worker_batches = {1};
+  ParallelResult b = a;
+  EXPECT_EQ(to_json(a), to_json(b));
+  b.worker_misses = {4};
+  EXPECT_NE(to_json(a), to_json(b));
+}
+
 }  // namespace
 }  // namespace ccs::schedule

@@ -66,10 +66,28 @@ TEST(Arrivals, GlobalRegistryIsSeeded) {
   EXPECT_TRUE(ArrivalRegistry::global().contains("on-off-8x8"));
 }
 
+TEST(Arrivals, PhaseShiftDelaysTheBasePattern) {
+  const ArrivalPattern shifted = phase_shift_arrivals(bursty_arrivals(64, 16), 8);
+  for (std::int64_t t = 0; t < 8; ++t) EXPECT_EQ(shifted(t), 0) << t;
+  EXPECT_EQ(shifted(8), 64);    // the base pattern's tick 0
+  EXPECT_EQ(shifted(9), 0);
+  EXPECT_EQ(shifted(24), 64);   // base tick 16, one period later
+  // Same total mass as the base over any window covering whole periods
+  // plus the shift.
+  EXPECT_EQ(total_arrivals(shifted, 8 + 64), total_arrivals(bursty_arrivals(64, 16), 64));
+  // Zero shift is the identity.
+  const ArrivalPattern same = phase_shift_arrivals(steady_arrivals(3), 0);
+  EXPECT_EQ(same(0), 3);
+  EXPECT_EQ(same(41), 3);
+  EXPECT_TRUE(ArrivalRegistry::global().contains("bursty-64-shift-8"));
+}
+
 TEST(Arrivals, RejectsDegenerateParameters) {
   EXPECT_THROW(bursty_arrivals(4, 0), ContractViolation);
   EXPECT_THROW(on_off_arrivals(4, 0, 4), ContractViolation);
   EXPECT_THROW(steady_arrivals(-1), ContractViolation);
+  EXPECT_THROW(phase_shift_arrivals(steady_arrivals(1), -1), ContractViolation);
+  EXPECT_THROW(phase_shift_arrivals(nullptr, 1), ContractViolation);
 }
 
 }  // namespace
