@@ -14,6 +14,13 @@
 // is serial by construction, so it does NOT scale with workers -- the model
 // counters are the scaling story). BM_ParallelPool covers the E14-style
 // component-parallel simulator on the same WorkerPool substrate.
+//
+// BM_OversubscribedL1 is the adaptive-placement regime (BENCH_PR6.json):
+// two heavy sessions whose working sets each nearly fill a small private
+// L1, admitted onto the same worker by static striping. Adaptive placement
+// must notice the oversubscription and shed one (misses_per_output drops vs
+// round-robin); with nothing hot -- the same cluster under a cold trickle
+// -- it must match affinity exactly.
 
 #include <benchmark/benchmark.h>
 
@@ -77,6 +84,75 @@ void BM_ClusterServe(benchmark::State& state) {
   state.counters["migrations"] = static_cast<double>(migrations);
 }
 BENCHMARK(BM_ClusterServe)->Arg(1)->Arg(2)->Arg(4);
+
+/// The oversubscribed-L1 regime (range(1) == 1): heavy,light,heavy,light
+/// admission on two workers with a small private cache, so both static
+/// policies strand the two ~1600-word working sets on worker 0 while the
+/// lights (1/8 the traffic) idle on worker 1. Adaptive placement must shed
+/// one heavy session, winning both model throughput and misses/output. The
+/// cold regime (range(1) == 0) serves four light sessions -- nothing is
+/// ever oversubscribed, so adaptive's counters must equal affinity's.
+/// Placement key is chosen by state.range(0).
+void BM_OversubscribedL1(benchmark::State& state) {
+  static const char* kPlacements[] = {"round-robin", "affinity", "adaptive"};
+  const std::string placement = kPlacements[state.range(0)];
+  const bool oversubscribed = state.range(1) == 1;
+  const auto heavy = workloads::uniform_pipeline(4, 400);
+  const auto light = workloads::uniform_pipeline(4, 40);
+  const auto heavy_p = partition::pipeline_optimal_partition(heavy, 3 * kM).partition;
+  const auto light_p = partition::pipeline_optimal_partition(light, 3 * kM).partition;
+  std::int64_t outputs = 0;
+  double model_throughput = 0.0;
+  double misses_per_output = 0.0;
+  std::int64_t migrations = 0;
+  std::int64_t auto_migrations = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ClusterOptions opts;
+    opts.workers = 2;
+    opts.l1 = {2 * kM, 8};  // holds one heavy working set, not two
+    opts.llc_words = 32 * kM;
+    opts.placement = placement;
+    core::Cluster cluster(opts);
+    core::StreamOptions sopts;
+    sopts.engine.per_node_attribution = false;
+    for (std::int32_t t = 0; t < kTenants; ++t) {
+      const bool is_heavy = oversubscribed && t % 2 == 0;
+      cluster.admit((is_heavy ? "heavy-" : "light-") + std::to_string(t),
+                    is_heavy ? heavy : light, is_heavy ? heavy_p : light_p, sopts, kM);
+    }
+    state.ResumeTiming();
+    for (std::int64_t tick = 0; tick < kTicks; ++tick) {
+      for (core::TenantId t = 0; t < cluster.tenant_count(); ++t) {
+        const bool is_heavy = oversubscribed && t % 2 == 0;
+        cluster.push(t, is_heavy ? kItemsPerTick : kItemsPerTick / 8);
+      }
+      cluster.run_until_idle();  // adaptive adapts at entry; statics just run
+    }
+    cluster.drain_all();
+    const auto report = cluster.report();
+    outputs += report.aggregate.sink_firings;
+    migrations = report.migrations;
+    auto_migrations = report.auto_migrations;
+    model_throughput = report.makespan() > 0
+                           ? static_cast<double>(report.aggregate.sink_firings) /
+                                 static_cast<double>(report.makespan())
+                           : 0.0;
+    misses_per_output = report.aggregate.misses_per_output();
+  }
+  state.SetItemsProcessed(outputs);
+  state.SetLabel(placement + (oversubscribed ? "/oversubscribed" : "/cold"));
+  state.counters["model_throughput"] = model_throughput;
+  state.counters["misses_per_output"] = misses_per_output;
+  state.counters["migrations"] = static_cast<double>(migrations);
+  state.counters["auto_migrations"] = static_cast<double>(auto_migrations);
+}
+BENCHMARK(BM_OversubscribedL1)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({1, 0})
+    ->Args({2, 0});
 
 /// E14-style component-parallel simulation on the WorkerPool substrate.
 void BM_ParallelPool(benchmark::State& state) {

@@ -4,14 +4,18 @@
 //   $ ./cluster_server [--workers=2] [--tenants=4] [--placement=affinity]
 //                      [--l1-words=4096] [--llc-words=32768]
 //                      [--ticks=64] [--arrival=bursty-64]
-//                      [--rebalance-every=8] [--mode=both] [--json]
+//                      [--rebalance-every=8] [--mode=both]
+//                      [--no-auto-migrate] [--json]
 //
 // Demonstrates: core::Cluster admitting sessions onto a runtime::WorkerPool
-// (per-worker private L1 over a shared LLC), the three built-in placement
-// policies, periodic rebalancing (migration pays real reload misses), and
+// (per-worker private L1 over a shared LLC), the four built-in placement
+// policies (including "adaptive", which watches footprints and migrates on
+// its own), periodic rebalancing (migration pays real reload misses), and
 // the two execution modes -- deterministic virtual time and real
 // std::thread workers -- whose per-tenant counters must agree (--mode=both
-// verifies this and exits nonzero on a mismatch).
+// verifies this and exits nonzero on a mismatch). --no-auto-migrate pins
+// adaptive placement to its never-fire baseline, which must reproduce
+// --placement=affinity exactly.
 
 #include <iostream>
 #include <string>
@@ -71,7 +75,7 @@ int main(int argc, char** argv) {
   args.add_int("workers", 2, "worker (core) count");
   args.add_int("tenants", 4, "streaming sessions to admit (max 16)");
   args.add_string("placement", "round-robin",
-                  "placement policy (round-robin, least-loaded, affinity)");
+                  "placement policy (round-robin, least-loaded, affinity, adaptive)");
   args.add_int("l1-words", 4096, "per-worker private cache size in words");
   args.add_int("llc-words", 32768, "shared LLC size in words (0 = none)");
   args.add_int("plan-words", 1024, "cache share M each tenant plans for");
@@ -80,6 +84,9 @@ int main(int argc, char** argv) {
   args.add_int("stagger", 0, "per-tenant arrival phase shift (tenant i waits i*stagger ticks)");
   args.add_int("rebalance-every", 8, "ticks between placement rebalances (0 = never)");
   args.add_string("mode", "both", "virtual, threads, or both (verify agreement)");
+  args.add_flag("no-auto-migrate",
+                "disable adaptive placement's automatic migration triggers "
+                "(the never-fire differential baseline)");
   args.add_flag("json", "emit the deterministic virtual-time report as JSON");
   try {
     if (!args.parse(argc, argv)) return 0;
@@ -92,6 +99,9 @@ int main(int argc, char** argv) {
     opts.l1 = {args.get_int("l1-words"), 8};
     opts.llc_words = args.get_int("llc-words");
     opts.placement = args.get_string("placement");
+    if (args.get_flag("no-auto-migrate")) {
+      opts.adaptive = placement::never_fire_adaptive();
+    }
     const std::int64_t m = args.get_int("plan-words");
     const std::int64_t ticks = args.get_int("ticks");
     const std::int64_t rebalance_every = args.get_int("rebalance-every");
@@ -183,11 +193,14 @@ int main(int argc, char** argv) {
 
     std::cout << "\nmakespan " << report.makespan() << " (imbalance "
               << Table::num(report.imbalance(), 2) << "), " << report.migrations
-              << " migrations, LLC " << report.llc.misses << " misses / "
+              << " migrations (" << report.auto_migrations
+              << " adaptive-triggered), LLC " << report.llc.misses << " misses / "
               << report.llc.accesses << " accesses\n"
               << "Placement decides which private L1 a session's working set lives\n"
                  "in: affinity keeps it warm, least-loaded chases busy-time balance\n"
-                 "and pays reload misses on every move (the paper's §7 trade).\n";
+                 "and pays reload misses on every move (the paper's §7 trade);\n"
+                 "adaptive watches live footprints and sheds hot sessions when a\n"
+                 "worker's L1 is oversubscribed.\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
   args.add_string("cluster-workers", "1,2,4", "comma-separated cluster worker counts");
   args.add_string("cluster-tenants", "4", "comma-separated cluster tenant counts");
   args.add_string("cluster-placements", "round-robin",
-                  "comma-separated placement registry keys");
+                  "comma-separated placement registry keys (round-robin, "
+                  "least-loaded, affinity, adaptive)");
   args.add_int("cluster-ticks", 64, "arrival ticks per cluster cell");
   args.add_int("cluster-llc-factor", 8,
                "shared LLC as a multiple of the per-worker L1 (0 = no LLC)");

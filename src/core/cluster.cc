@@ -74,29 +74,90 @@ class LeastLoadedPlacement final : public PlacementPolicy {
   }
 };
 
-/// Communication/cache affinity: the worker whose private L1 holds the most
+/// Shared cache-affinity rule: the worker whose private L1 holds the most
 /// of the session's working set wins; the current worker wins residency
 /// ties, so a warm session never bounces between equally-warm workers. A
 /// cold session (no blocks resident anywhere) falls back to least-loaded.
+/// Factored out because the adaptive policy must reproduce it exactly when
+/// its migration thresholds never fire (the differential-test contract).
+WorkerId pick_affinity(const PlacementRequest& request,
+                       const std::vector<ClusterWorkerStatus>& workers) {
+  WorkerId best = kNoWorker;
+  std::int64_t best_resident = 0;
+  for (const ClusterWorkerStatus& w : workers) {
+    const auto slot = static_cast<std::size_t>(w.id);
+    const std::int64_t resident =
+        slot < request.resident_blocks.size() ? request.resident_blocks[slot] : 0;
+    const bool warmer = resident > best_resident;
+    const bool tied_at_current =
+        resident == best_resident && resident > 0 && w.id == request.current;
+    if (warmer || tied_at_current) {
+      best = w.id;
+      best_resident = resident;
+    }
+  }
+  return best != kNoWorker ? best : pick_least_loaded(request, workers);
+}
+
 class AffinityPlacement final : public PlacementPolicy {
  public:
   WorkerId place(const PlacementRequest& request,
                  const std::vector<ClusterWorkerStatus>& workers) override {
-    WorkerId best = kNoWorker;
-    std::int64_t best_resident = 0;
+    return pick_affinity(request, workers);
+  }
+};
+
+/// Footprint-driven placement: affinity while everyone fits, headroom-
+/// seeking when the affinity choice is oversubscribed by hot footprints.
+/// The policy itself is stateless and threshold-free -- the cluster
+/// classifies sessions (placement::FootprintEstimator) and fills the
+/// request/status footprint fields; a cold or express session always takes
+/// the plain affinity path, which is what makes never-fire adaptive
+/// placement decision-for-decision identical to "affinity".
+class AdaptivePlacement final : public PlacementPolicy {
+ public:
+  bool adaptive() const noexcept override { return true; }
+
+  WorkerId place(const PlacementRequest& request,
+                 const std::vector<ClusterWorkerStatus>& workers) override {
+    const WorkerId home = pick_affinity(request, workers);
+    if (!request.hot || request.footprint_words <= 0) return home;
+    // Hot pressure on w if this session ran there: its footprint moves with
+    // it, so it stops counting against its current worker.
+    const auto pressure_with = [&](const ClusterWorkerStatus& w) {
+      const std::int64_t others =
+          w.id == request.current ? w.hot_words - request.footprint_words : w.hot_words;
+      return others + request.footprint_words;
+    };
+    const ClusterWorkerStatus& chosen = workers[static_cast<std::size_t>(home)];
+    if (pressure_with(chosen) <= chosen.l1_words) return home;
+    // The affinity choice cannot hold this session's working set alongside
+    // the other hot tenants: shed to the worker with the most headroom.
+    // Ties prefer the current worker (a symmetric overload never migrates),
+    // then the least busy, then the lowest id.
+    const ClusterWorkerStatus* best = nullptr;
+    std::int64_t best_headroom = 0;
     for (const ClusterWorkerStatus& w : workers) {
-      const auto slot = static_cast<std::size_t>(w.id);
-      const std::int64_t resident =
-          slot < request.resident_blocks.size() ? request.resident_blocks[slot] : 0;
-      const bool warmer = resident > best_resident;
-      const bool tied_at_current =
-          resident == best_resident && resident > 0 && w.id == request.current;
-      if (warmer || tied_at_current) {
-        best = w.id;
-        best_resident = resident;
+      const std::int64_t headroom = w.l1_words - pressure_with(w);
+      if (best == nullptr) {
+        best = &w;
+        best_headroom = headroom;
+        continue;
       }
+      if (headroom != best_headroom) {
+        if (headroom > best_headroom) {
+          best = &w;
+          best_headroom = headroom;
+        }
+        continue;
+      }
+      if ((w.id == request.current) != (best->id == request.current)) {
+        if (w.id == request.current) best = &w;
+        continue;
+      }
+      if (w.busy < best->busy) best = &w;
     }
-    return best != kNoWorker ? best : pick_least_loaded(request, workers);
+    return best->id;
   }
 };
 
@@ -125,6 +186,10 @@ void register_builtin_placements(PlacementRegistry& r) {
         {[] { return std::make_unique<AffinityPlacement>(); },
          "keep a session on the worker whose private cache holds its working "
          "set; least-loaded when cold"});
+  r.add("adaptive",
+        {[] { return std::make_unique<AdaptivePlacement>(); },
+         "affinity, plus footprint-driven shedding when a worker's private "
+         "cache is oversubscribed by hot working sets or thrashing"});
 }
 
 std::int64_t ClusterReport::makespan() const {
@@ -146,6 +211,8 @@ void ClusterReport::write_json(std::ostream& os) const {
   os << "{\n  \"placement\": \"" << json_escape(placement) << "\""
      << ", \"workers\": " << workers.size() << ", \"steps\": " << steps
      << ", \"rounds\": " << rounds << ", \"migrations\": " << migrations
+     << ", \"auto_migrations\": " << auto_migrations
+     << ", \"migration_noops\": " << migration_noops
      << ", \"makespan\": " << makespan() << ", \"imbalance\": " << balance.str()
      << ",\n  \"aggregate\": {\"accesses\": " << aggregate.cache.accesses
      << ", \"hits\": " << aggregate.cache.hits
@@ -190,6 +257,12 @@ Cluster::Cluster(ClusterOptions options, const PlacementRegistry* registry)
       registry != nullptr ? *registry : PlacementRegistry::global();
   policy_ = reg.find(options_.placement).build();
   workers_.resize(static_cast<std::size_t>(pool_.size()));
+  // The estimator classifies against the cache a session actually runs in.
+  if (options_.adaptive.footprint.budget_words == 0) {
+    options_.adaptive.footprint.budget_words = options_.l1.capacity_words;
+  }
+  estimator_ = placement::FootprintEstimator(options_.adaptive.footprint);
+  l1_window_base_.resize(static_cast<std::size_t>(pool_.size()));
 }
 
 TenantId Cluster::admit(std::string name, const sdf::SdfGraph& g,
@@ -226,6 +299,10 @@ TenantId Cluster::admit(std::string name, const sdf::SdfGraph& g,
   tenants_.push_back(std::move(t));
   const TenantId id = static_cast<TenantId>(tenants_.size() - 1);
   workers_[static_cast<std::size_t>(home)].tenants.push_back(id);
+  // Seed the footprint estimate from the gain-analysis layout (state plus
+  // channel rings) -- the paper's working-set bound made concrete.
+  const runtime::FootprintSample seed = tenants_.back().stream->footprint_sample();
+  estimator_.add_session(seed.layout_words, seed.state_words);
   return id;
 }
 
@@ -289,12 +366,16 @@ std::int64_t Cluster::step_round() {
 }
 
 std::int64_t Cluster::run_until_idle() {
+  adapt();
   std::int64_t executed = 0;
   for (std::int64_t p = step_round(); p > 0; p = step_round()) executed += p;
   return executed;
 }
 
 std::int64_t Cluster::run_threads() {
+  adapt();  // on the controlling thread, while still quiescent -- exactly
+            // the adaptation point run_until_idle uses, so both modes see
+            // identical placements before the first step.
   // One thread per worker, each running the same worker_step loop virtual
   // time runs. A worker touches only its own Worker struct, its own
   // tenants, and its own private L1; the shared LLC is the only contended
@@ -324,6 +405,14 @@ std::vector<ClusterWorkerStatus> Cluster::worker_statuses() const {
     s.steps = worker.steps;
     s.tenants = static_cast<std::int32_t>(worker.tenants.size());
     s.misses = pool_.worker_stats(w).misses;
+    s.l1_words = options_.l1.capacity_words;
+    if (adaptive_active()) {
+      for (const TenantId id : worker.tenants) {
+        if (id < estimator_.session_count() && estimator_.hot(id)) {
+          s.hot_words += estimator_.footprint_words(id);
+        }
+      }
+    }
     out.push_back(s);
   }
   return out;
@@ -341,6 +430,10 @@ PlacementRequest Cluster::request_for(TenantId id) const {
   request.resident_blocks.reserve(static_cast<std::size_t>(pool_.size()));
   for (WorkerId w = 0; w < worker_count(); ++w) {
     request.resident_blocks.push_back(pool_.resident_blocks(w, t.stream->layout_span()));
+  }
+  if (adaptive_active() && id < estimator_.session_count()) {
+    request.footprint_words = estimator_.footprint_words(id);
+    request.hot = estimator_.hot(id);
   }
   return request;
 }
@@ -363,10 +456,84 @@ std::int64_t Cluster::rebalance() {
   return moved;
 }
 
+std::int64_t Cluster::adapt() {
+  if (!policy_->adaptive()) return 0;
+  observe_footprints();
+  if (!options_.adaptive.migrate) return 0;
+  if (!migration_trigger_fired()) return 0;
+  const std::int64_t moved = rebalance();
+  auto_migrations_ += moved;
+  return moved;
+}
+
+void Cluster::observe_footprints() {
+  for (TenantId id = 0; id < tenant_count(); ++id) {
+    const Tenant& t = tenants_[static_cast<std::size_t>(id)];
+    const runtime::FootprintSample sample = t.stream->footprint_sample();
+    placement::FootprintObservation o;
+    o.accesses = sample.accesses;
+    o.misses = sample.misses;
+    o.resident_words = pool_.resident_words(t.worker, t.stream->layout_span());
+    estimator_.observe(id, o);
+  }
+}
+
+bool Cluster::migration_trigger_fired() {
+  const placement::AdaptiveOptions& a = options_.adaptive;
+  bool fired = false;
+  // Oversubscription: some worker's resident hot footprints exceed its
+  // allowance of the private cache.
+  const std::int64_t allowance = options_.l1.capacity_words * a.oversub_permille / 1000;
+  std::vector<std::int64_t> hot_words(workers_.size(), 0);
+  for (TenantId id = 0; id < tenant_count(); ++id) {
+    if (estimator_.hot(id)) {
+      const WorkerId w = tenants_[static_cast<std::size_t>(id)].worker;
+      hot_words[static_cast<std::size_t>(w)] += estimator_.footprint_words(id);
+    }
+  }
+  for (const std::int64_t pressure : hot_words) {
+    if (pressure > allowance) fired = true;
+  }
+  // Thrash: a busy worker's private-L1 window miss rate at the threshold.
+  // Under the inclusive hierarchy every private miss is one shared-LLC
+  // probe, so this is equally the worker's LLC pressure-delta signal -- and
+  // unlike raw LLC hit/miss splits it is identical across execution modes.
+  for (WorkerId w = 0; w < worker_count(); ++w) {
+    const iomodel::CacheStats& now = pool_.worker_stats(w);
+    iomodel::CacheStats& base = l1_window_base_[static_cast<std::size_t>(w)];
+    const std::int64_t accesses = now.accesses - base.accesses;
+    const std::int64_t misses = now.misses - base.misses;
+    base = now;  // every adaptation point starts a fresh window
+    if (!workers_[static_cast<std::size_t>(w)].tenants.empty() &&
+        accesses >= a.min_window_accesses &&
+        misses * 1000 >= a.thrash_miss_permille * accesses) {
+      fired = true;
+    }
+  }
+  return fired;
+}
+
 void Cluster::migrate(TenantId id, WorkerId target) {
+  if (id < 0 || id >= tenant_count()) {
+    std::string msg = "unknown tenant id " + std::to_string(id) + "; live tenants:";
+    if (tenants_.empty()) {
+      msg += " (none)";
+    } else {
+      for (TenantId t = 0; t < tenant_count(); ++t) {
+        msg += (t == 0 ? " " : ", ");
+        msg += std::to_string(t) + " '" + tenants_[static_cast<std::size_t>(t)].name + "'";
+      }
+    }
+    throw Error(msg);
+  }
   CCS_EXPECTS(target >= 0 && target < worker_count(), "worker id out of range");
-  Tenant& t = tenant(id);
-  if (t.worker == target) return;
+  Tenant& t = tenants_[static_cast<std::size_t>(id)];
+  if (t.worker == target) {
+    // Counted no-op: nothing reloads, nothing moves, but drivers retrying
+    // placement decisions can see how often they asked for one.
+    ++migration_noops_;
+    return;
+  }
   Worker& from = workers_[static_cast<std::size_t>(t.worker)];
   from.tenants.erase(std::find(from.tenants.begin(), from.tenants.end(), id));
   from.cursor = 0;  // keep the rotation point deterministic after the edit
@@ -394,6 +561,8 @@ ClusterReport Cluster::report() const {
   report.placement = options_.placement;
   report.rounds = rounds_;
   report.migrations = migrations_;
+  report.auto_migrations = auto_migrations_;
+  report.migration_noops = migration_noops_;
   for (const Tenant& t : tenants_) {
     ClusterTenantReport row;
     row.name = t.name;

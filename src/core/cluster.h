@@ -17,6 +17,18 @@
 //                       their private L1 holds; a session stays put while
 //                       its working set is warm (the cache-conscious
 //                       extreme; falls back to least-loaded when cold).
+//   * "adaptive"     -- affinity, plus footprint-driven reaction: a
+//                       placement::FootprintEstimator tracks each session's
+//                       live working set (seeded from the gain-analysis
+//                       layout, corrected by observed miss rates and
+//                       residency), and when a worker's L1 is oversubscribed
+//                       by hot footprints or its window miss rate signals
+//                       thrash, the cluster consults placement *on its own*
+//                       at the next quiescent run entry and sheds hot
+//                       sessions to workers with headroom. With migration
+//                       disabled (ClusterOptions::adaptive.migrate = false)
+//                       it is decision-for-decision identical to "affinity"
+//                       -- the differential-test baseline.
 //
 // Execution supports two modes through ONE code path (worker_step):
 //
@@ -60,6 +72,7 @@
 
 #include "core/server.h"
 #include "core/stream.h"
+#include "placement/footprint.h"
 #include "runtime/run_result.h"
 #include "runtime/worker_pool.h"
 #include "schedule/parallel.h"
@@ -79,6 +92,12 @@ struct ClusterWorkerStatus {
   std::int64_t steps = 0;    ///< Tenant steps granted so far.
   std::int32_t tenants = 0;  ///< Sessions currently placed here.
   std::int64_t misses = 0;   ///< Private-L1 misses so far.
+  std::int64_t l1_words = 0; ///< Private-cache capacity (the footprint budget).
+
+  /// Summed estimated footprints of the *hot* sessions placed here -- the
+  /// cache pressure adaptive placement compares against l1_words. Zero
+  /// under static policies (nothing is ever classified hot).
+  std::int64_t hot_words = 0;
 };
 
 /// One placement question: where should this session run?
@@ -91,6 +110,15 @@ struct PlacementRequest {
   /// worker's private L1 -- the affinity signal. All-zero for a new or cold
   /// session.
   std::vector<std::int64_t> resident_blocks;
+
+  /// Estimated live working set in words (placement::FootprintEstimator);
+  /// 0 when the cluster runs a non-adaptive policy.
+  std::int64_t footprint_words = 0;
+
+  /// True when the session is classified hot (recently active, cacheable).
+  /// Always false when migration thresholds are disabled, which is what
+  /// makes never-fire adaptive placement identical to "affinity".
+  bool hot = false;
 };
 
 /// A placement rule. place() must return a valid worker id; policies may
@@ -103,6 +131,10 @@ class PlacementPolicy {
   virtual ~PlacementPolicy() = default;
   virtual WorkerId place(const PlacementRequest& request,
                          const std::vector<ClusterWorkerStatus>& workers) = 0;
+
+  /// True for policies that want footprint signals filled in and the
+  /// cluster's automatic trigger evaluation at quiescent run entries.
+  virtual bool adaptive() const noexcept { return false; }
 };
 
 /// A named placement-policy factory.
@@ -132,6 +164,10 @@ struct ClusterOptions {
   iomodel::CacheConfig l1{4096, 8};         ///< Per-worker private cache.
   std::int64_t llc_words = 0;               ///< Shared LLC; 0 = none.
   std::string placement = "round-robin";    ///< PlacementRegistry key.
+
+  /// Automatic-migration triggers for adaptive placement keys; ignored by
+  /// static policies. footprint.budget_words defaults to the L1 capacity.
+  placement::AdaptiveOptions adaptive;
 };
 
 /// One tenant's slice of a ClusterReport.
@@ -162,6 +198,8 @@ struct ClusterReport {
   std::int64_t steps = 0;                    ///< Tenant steps across all workers.
   std::int64_t rounds = 0;                   ///< Virtual-time rounds advanced.
   std::int64_t migrations = 0;               ///< Total migrations performed.
+  std::int64_t auto_migrations = 0;          ///< Subset triggered by adaptive placement.
+  std::int64_t migration_noops = 0;          ///< migrate() calls to the current worker.
 
   /// Model completion time: tenants are independent and pinned, so each
   /// worker's schedule compresses back-to-back and the last worker to
@@ -224,21 +262,38 @@ class Cluster {
   std::int64_t step_round();
 
   /// Virtual time: rounds until every worker is idle; returns tenant steps
-  /// executed.
+  /// executed. Under an adaptive placement policy, entry is a quiescent
+  /// adaptation point: footprints are re-estimated and triggered migrations
+  /// happen before the first round.
   std::int64_t run_until_idle();
 
   /// Thread mode: the identical per-worker step loop, one std::thread per
   /// worker, joined before returning; returns tenant steps executed.
   /// Per-tenant counters are bit-identical to virtual time (see the file
   /// comment); only shared-LLC statistics depend on real interleaving.
+  /// Adaptive placement adapts at entry, on the controlling thread, exactly
+  /// as run_until_idle does -- which is why the mode-equivalence gate holds
+  /// for the "adaptive" key too.
   std::int64_t run_threads();
 
   /// Consults the placement policy for every tenant (admission order) while
   /// quiescent and migrates those told to move. Returns migrations made.
   std::int64_t rebalance();
 
-  /// Moves tenant `id` to worker `target` (no-op when already there). The
-  /// session's tokens and counters survive; its working set must reload.
+  /// Adaptive placement's quiescent checkpoint (called automatically at
+  /// run_until_idle/run_threads entry; exposed for drivers that step rounds
+  /// by hand). Refreshes the footprint estimator from per-tenant counters
+  /// and worker residency, evaluates the migration triggers
+  /// (ClusterOptions::adaptive), and rebalances only when one fires.
+  /// Returns migrations made; always 0 under a non-adaptive policy or with
+  /// migration disabled.
+  std::int64_t adapt();
+
+  /// Moves tenant `id` to worker `target`. Moving a tenant to its current
+  /// worker is a no-op, counted in ClusterReport::migration_noops and never
+  /// in `migrations`. Throws ccs::Error naming the live tenants for an
+  /// unknown `id`. The session's tokens and counters survive a real move;
+  /// its working set must reload.
   void migrate(TenantId id, WorkerId target);
 
   /// Drains every tenant, in admission order (on the controlling thread;
@@ -280,13 +335,30 @@ class Cluster {
   std::vector<ClusterWorkerStatus> worker_statuses() const;
   WorkerId checked_placement(const PlacementRequest& request);
 
+  /// True when footprint signals should be filled in and triggers can fire.
+  bool adaptive_active() const noexcept {
+    return policy_->adaptive() && options_.adaptive.migrate;
+  }
+
+  /// Feeds every tenant's attributed counters and residency to the
+  /// estimator (one observation window per adaptation point).
+  void observe_footprints();
+
+  /// True iff some worker's hot footprints oversubscribe its L1 or its
+  /// private-miss window signals thrash (the two adaptive triggers).
+  bool migration_trigger_fired();
+
   ClusterOptions options_;
   runtime::WorkerPool pool_;
   std::unique_ptr<PlacementPolicy> policy_;
   std::vector<Tenant> tenants_;
   std::vector<Worker> workers_;
+  placement::FootprintEstimator estimator_;
+  std::vector<iomodel::CacheStats> l1_window_base_;  ///< Per-worker thrash windows.
   std::int64_t rounds_ = 0;
   std::int64_t migrations_ = 0;
+  std::int64_t auto_migrations_ = 0;
+  std::int64_t migration_noops_ = 0;
 };
 
 /// schedule::simulate_parallel_homogeneous as a thin client of the cluster

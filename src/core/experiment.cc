@@ -352,6 +352,7 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
     cluster_opts.llc_words =
         spec_.cluster.llc_factor > 0 ? spec_.cluster.llc_factor * l1.capacity_words : 0;
     cluster_opts.placement = at.placement;
+    cluster_opts.adaptive = spec_.cluster.adaptive;
     Cluster cluster(cluster_opts);
     StreamOptions stream_opts;
     stream_opts.policy = at.strategy;
@@ -384,6 +385,7 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
     bool identical = again.aggregate == report.aggregate &&
                      again.llc == report.llc &&
                      again.migrations == report.migrations &&
+                     again.auto_migrations == report.auto_migrations &&
                      again.tenants.size() == report.tenants.size();
     for (std::size_t i = 0; identical && i < report.tenants.size(); ++i) {
       identical = again.tenants[i].totals == report.tenants[i].totals &&
@@ -399,6 +401,7 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
   cell.server_steps = report.steps;
   cell.cluster_makespan = report.makespan();
   cell.cluster_migrations = report.migrations;
+  cell.cluster_auto_migrations = report.auto_migrations;
   cell.buffer_words = buffer_words;
 }
 
@@ -466,7 +469,8 @@ void ExperimentResult::write_csv(std::ostream& os) const {
         "resolved,components,batch_t,bandwidth,predicted_misses_per_input,schedule,"
         "buffer_words,accesses,misses,writebacks,firings,source_firings,sink_firings,"
         "state_misses,channel_misses,io_misses,misses_per_input,misses_per_output,"
-        "server_steps,cluster_makespan,cluster_migrations,error\n";
+        "server_steps,cluster_makespan,cluster_migrations,cluster_auto_migrations,"
+        "error\n";
   for (const CellResult& c : cells) {
     os << csv_escape(c.workload) << ',' << c.cache.capacity_words << ','
        << c.cache.block_words << ',' << csv_escape(c.strategy) << ','
@@ -485,7 +489,7 @@ void ExperimentResult::write_csv(std::ostream& os) const {
        << ',' << c.run.channel_misses << ',' << c.run.io_misses << ','
        << fmt_double(c.misses_per_input) << ',' << fmt_double(c.misses_per_output) << ','
        << c.server_steps << ',' << c.cluster_makespan << ',' << c.cluster_migrations
-       << ',' << csv_escape(c.error) << '\n';
+       << ',' << c.cluster_auto_migrations << ',' << csv_escape(c.error) << '\n';
   }
 }
 
@@ -513,7 +517,8 @@ void ExperimentResult::write_json(std::ostream& os) const {
       os << ", \"workers\": " << c.workers << ", \"placement\": \""
          << json_escape(c.placement) << "\""
          << ", \"cluster_makespan\": " << c.cluster_makespan
-         << ", \"cluster_migrations\": " << c.cluster_migrations;
+         << ", \"cluster_migrations\": " << c.cluster_migrations
+         << ", \"cluster_auto_migrations\": " << c.cluster_auto_migrations;
     }
     os << ", \"t_multiplier\": " << c.t_multiplier
        << ", \"ok\": " << (c.ok ? "true" : "false");

@@ -31,6 +31,7 @@
 #include "core/planner.h"
 #include "iomodel/types.h"
 #include "partition/registry.h"
+#include "placement/footprint.h"
 #include "runtime/engine.h"
 #include "runtime/run_result.h"
 #include "schedule/registry.h"
@@ -69,6 +70,11 @@ struct ClusterSweep {
   std::int64_t llc_factor = 8;
 
   std::int64_t ticks = 128;                   ///< Pushes per tenant.
+
+  /// Trigger thresholds for "adaptive" placement cells (ignored by the
+  /// static keys), so a sweep can put adaptive-with-migration-disabled next
+  /// to "affinity" in the same grid and diff the rows.
+  placement::AdaptiveOptions adaptive;
 };
 
 /// The sweep grid, by registry keys. Cells are enumerated workload-major:
@@ -142,6 +148,7 @@ struct CellResult {
   std::int64_t server_steps = 0;    ///< Multiplexing decisions (online/cluster cells).
   std::int64_t cluster_makespan = 0;    ///< Max worker busy time (cluster cells).
   std::int64_t cluster_migrations = 0;  ///< Sessions moved (cluster cells).
+  std::int64_t cluster_auto_migrations = 0;  ///< Moves adaptive placement triggered.
 };
 
 /// Structured sweep output.

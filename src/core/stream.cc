@@ -107,6 +107,13 @@ void Stream::migrate_cache(iomodel::CacheSim& cache) {
   cache_ = &cache;
 }
 
+runtime::FootprintSample Stream::footprint_sample() const noexcept {
+  runtime::FootprintSample sample = engine_->footprint_sample();
+  sample.accesses = totals_.cache.accesses;
+  sample.misses = totals_.cache.misses;
+  return sample;
+}
+
 std::int64_t Stream::inputs_consumed() const { return engine_->fired(policy_->source()); }
 
 std::int64_t Stream::outputs_produced() const { return engine_->fired(policy_->sink()); }

@@ -142,6 +142,12 @@ class Stream {
   /// affinity probes rank workers by how much of it their cache holds).
   iomodel::Region layout_span() const noexcept { return engine_->layout_span(); }
 
+  /// Footprint observation for adaptive placement: the engine's layout
+  /// geometry with the counter fields replaced by this session's *attributed*
+  /// totals, so tenants sharing a worker cache never window each other's
+  /// traffic.
+  runtime::FootprintSample footprint_sample() const noexcept;
+
   const schedule::OnlinePolicy& policy() const noexcept { return *policy_; }
   const sdf::SdfGraph& graph() const noexcept { return graph_; }
   iomodel::CacheSim& cache() noexcept { return *cache_; }

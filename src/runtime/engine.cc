@@ -254,6 +254,15 @@ void Engine::advance_baselines() {
 
 RunResult Engine::snapshot() const { return delta_counters(); }
 
+FootprintSample Engine::footprint_sample() const noexcept {
+  FootprintSample sample;
+  sample.layout_words = layout_span().words;
+  sample.state_words = state_words_;
+  sample.accesses = cache_->stats().accesses;
+  sample.misses = cache_->stats().misses;
+  return sample;
+}
+
 RunResult Engine::take() {
   RunResult result = delta_counters();
   advance_baselines();

@@ -77,6 +77,17 @@ struct EngineOptions {
   std::int64_t address_base = 0;
 };
 
+/// One working-set observation of an engine, polled by adaptive placement
+/// (core::Cluster feeds these to placement::FootprintEstimator). The layout
+/// fields are structural; the counters are lifetime totals the consumer
+/// windows itself.
+struct FootprintSample {
+  std::int64_t layout_words = 0;  ///< State + channel rings (footprint upper bound).
+  std::int64_t state_words = 0;   ///< Module-state share of the layout.
+  std::int64_t accesses = 0;      ///< Lifetime cache accesses attributed to this engine.
+  std::int64_t misses = 0;        ///< Lifetime cache misses attributed to this engine.
+};
+
 /// Executes firing sequences for one graph + buffer-capacity assignment.
 class Engine {
  public:
@@ -183,6 +194,12 @@ class Engine {
   const sdf::SdfGraph& graph() const noexcept { return *graph_; }
   iomodel::CacheSim& cache() noexcept { return *cache_; }
   std::int64_t state_footprint() const noexcept { return state_words_; }
+
+  /// Footprint snapshot for adaptive placement: the layout geometry plus the
+  /// cache's lifetime counters. On a *dedicated* cache the counters are this
+  /// engine's own traffic; on a shared cache the caller must substitute
+  /// per-tenant attributed totals (core::Stream::footprint_sample does).
+  FootprintSample footprint_sample() const noexcept;
 
   /// The address range holding this engine's state and channel rings (from
   /// EngineOptions::address_base to the layout cursor; excludes the

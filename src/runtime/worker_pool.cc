@@ -55,4 +55,8 @@ std::int64_t WorkerPool::resident_blocks(std::int32_t w, const iomodel::Region& 
   return resident;
 }
 
+std::int64_t WorkerPool::resident_words(std::int32_t w, const iomodel::Region& region) const {
+  return resident_blocks(w, region) * worker_cache(w).block_words();
+}
+
 }  // namespace ccs::runtime

@@ -71,6 +71,17 @@ class WorkerPool {
   /// block-granularly (cost O(words/B)); mutates nothing.
   std::int64_t resident_blocks(std::int32_t w, const iomodel::Region& region) const;
 
+  /// resident_blocks in words -- the occupancy signal adaptive placement
+  /// budgets against l1_capacity_words().
+  std::int64_t resident_words(std::int32_t w, const iomodel::Region& region) const;
+
+  /// Per-worker private-cache capacity in words (every worker is identical):
+  /// the oversubscription budget adaptive placement charges hot footprints
+  /// against.
+  std::int64_t l1_capacity_words() const noexcept {
+    return options_.l1.capacity_words;
+  }
+
  private:
   WorkerPoolOptions options_;
   std::unique_ptr<iomodel::LruCache> llc_;  ///< Null when llc_words == 0.
