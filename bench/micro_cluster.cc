@@ -10,6 +10,10 @@
 //                          claim; recorded in BENCH_PR5.json);
 //   * migrations        -- placements moved during the run.
 //
+// The 8- and 16-worker rows (BENCH_PR7.json) cover the oversubscribed tail:
+// more workers than the four sessions can fill, so model throughput must
+// plateau (not regress) while per-worker occupancy goes sparse.
+//
 // Wall-clock items/s measures simulator overhead (the virtual-time stepper
 // is serial by construction, so it does NOT scale with workers -- the model
 // counters are the scaling story). BM_ParallelPool covers the E14-style
@@ -83,7 +87,7 @@ void BM_ClusterServe(benchmark::State& state) {
   state.counters["model_throughput"] = model_throughput;
   state.counters["migrations"] = static_cast<double>(migrations);
 }
-BENCHMARK(BM_ClusterServe)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_ClusterServe)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 /// The oversubscribed-L1 regime (range(1) == 1): heavy,light,heavy,light
 /// admission on two workers with a small private cache, so both static

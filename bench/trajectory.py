@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Merge every BENCH_PR*.json into one wall-clock perf trajectory.
+
+Each PR records its benchmark evidence in a BENCH_PR<N>.json at the repo
+root; shapes differ by era (PR2/PR3 are hand-rolled summaries, PR4+ are raw
+google-benchmark --benchmark_format=json dumps). This script normalizes all
+of them into one long-format table -- one row per (pr, benchmark, metric) --
+and emits it as CSV plus a grouped markdown report, so CI can publish the
+whole perf trajectory as a single artifact on every run.
+
+Parsing is strict on purpose: a BENCH file that fails to parse, or whose
+shape is not one this script knows, is a hard error (nonzero exit), not a
+silent skip -- a trajectory with holes reads as "this PR had no perf story"
+when it actually recorded one.
+
+Usage:
+    python3 bench/trajectory.py [--root DIR] [--csv OUT.csv] [--markdown OUT.md]
+
+With no output flags, prints the markdown report to stdout. Exits 0 only if
+every BENCH_PR*.json parsed and normalized.
+"""
+
+import argparse
+import csv
+import glob
+import json
+import os
+import re
+import sys
+
+COLUMNS = ["pr", "source", "benchmark", "metric", "value", "unit", "note"]
+
+
+class TrajectoryError(Exception):
+    """A BENCH file that exists but cannot be read or understood."""
+
+
+def rows_from_google_benchmark(pr, source, doc):
+    """Raw google-benchmark dump: keep median aggregates (or plain rows when
+    a family has no aggregates), one row per recorded throughput/time."""
+    rows = []
+    benches = doc["benchmarks"]
+    has_aggregates = any(b.get("run_type") == "aggregate" for b in benches)
+    for b in benches:
+        if has_aggregates and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name") or b["name"]
+        label = b.get("label", "")
+        if b.get("items_per_second") is not None:
+            rows.append([pr, source, name, "items_per_second",
+                         float(b["items_per_second"]), "items/s", label])
+        if b.get("real_time") is not None:
+            rows.append([pr, source, name, "real_time_median",
+                         float(b["real_time"]), b.get("time_unit", "ns"), label])
+        for counter in ("model_throughput", "misses_per_output", "speedup"):
+            if b.get(counter) is not None:
+                rows.append([pr, source, name, counter, float(b[counter]), "", label])
+    if not rows:
+        raise TrajectoryError(f"{source}: google-benchmark dump has no usable rows")
+    return rows
+
+
+def rows_from_pr2(pr, source, doc):
+    """PR2 summary: gated before/after items/s pairs per microbenchmark."""
+    rows = []
+    for name, cell in doc["gated"].items():
+        rows.append([pr, source, name, "items_per_second",
+                     float(cell["after_items_per_second"]), "items/s", ""])
+        rows.append([pr, source, name, "speedup_vs_before",
+                     float(cell["speedup"]), "x", ""])
+    if not rows:
+        raise TrajectoryError(f"{source}: 'gated' table is empty")
+    return rows
+
+
+def rows_from_pr3(pr, source, doc):
+    """PR3 summary: sweep wall-clock medians per thread count."""
+    rows = []
+    for key, seconds in doc["wall_seconds_median"].items():
+        rows.append([pr, source, f"experiment_sweep/{key}", "wall_seconds_median",
+                     float(seconds), "s", ""])
+    for key, speedup in doc.get("speedup_vs_1_thread", {}).items():
+        rows.append([pr, source, f"experiment_sweep/{key}", "speedup_vs_1_thread",
+                     float(speedup), "x", ""])
+    if not rows:
+        raise TrajectoryError(f"{source}: 'wall_seconds_median' table is empty")
+    return rows
+
+
+def normalize(path):
+    source = os.path.basename(path)
+    match = re.match(r"BENCH_PR(\d+)\.json$", source)
+    if not match:
+        raise TrajectoryError(f"{source}: not a BENCH_PR<N>.json name")
+    pr = int(match.group(1))
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise TrajectoryError(f"{source}: failed to parse: {err}") from err
+    try:
+        if isinstance(doc, dict) and "benchmarks" in doc:
+            return rows_from_google_benchmark(pr, source, doc)
+        if isinstance(doc, dict) and "gated" in doc:
+            return rows_from_pr2(pr, source, doc)
+        if isinstance(doc, dict) and "wall_seconds_median" in doc:
+            return rows_from_pr3(pr, source, doc)
+    except (KeyError, TypeError, ValueError) as err:
+        raise TrajectoryError(f"{source}: malformed fields: {err}") from err
+    raise TrajectoryError(f"{source}: unrecognized shape "
+                          f"(top-level keys: {sorted(doc)[:8] if isinstance(doc, dict) else type(doc).__name__})")
+
+
+def write_csv(rows, out):
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(COLUMNS)
+    writer.writerows(rows)
+
+
+def write_markdown(rows, out):
+    out.write("# Wall-clock perf trajectory\n\n")
+    out.write("One row per recorded (PR, benchmark, metric); medians unless "
+              "noted. Regenerate with `python3 bench/trajectory.py`.\n")
+    by_pr = {}
+    for row in rows:
+        by_pr.setdefault(row[0], []).append(row)
+    for pr in sorted(by_pr):
+        out.write(f"\n## PR {pr} ({by_pr[pr][0][1]})\n\n")
+        out.write("| benchmark | metric | value | unit | note |\n")
+        out.write("|---|---|---:|---|---|\n")
+        for _, _, bench, metric, value, unit, note in by_pr[pr]:
+            shown = f"{value:,.4g}" if isinstance(value, float) else value
+            out.write(f"| {bench} | {metric} | {shown} | {unit} | {note} |\n")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.join(os.path.dirname(__file__), ".."),
+                        help="directory holding BENCH_PR*.json (default: repo root)")
+    parser.add_argument("--csv", help="write the long-format CSV here")
+    parser.add_argument("--markdown", help="write the markdown report here")
+    args = parser.parse_args(argv)
+
+    paths = sorted(glob.glob(os.path.join(args.root, "BENCH_PR*.json")),
+                   key=lambda p: int(re.search(r"PR(\d+)", os.path.basename(p)).group(1)))
+    if not paths:
+        print(f"error: no BENCH_PR*.json under {args.root}", file=sys.stderr)
+        return 1
+
+    rows, failures = [], []
+    for path in paths:
+        try:
+            rows.extend(normalize(path))
+        except TrajectoryError as err:
+            failures.append(str(err))
+    if failures:
+        for failure in failures:
+            print(f"error: {failure}", file=sys.stderr)
+        return 1
+
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as f:
+            write_csv(rows, f)
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as f:
+            write_markdown(rows, f)
+    if not args.csv and not args.markdown:
+        write_markdown(rows, sys.stdout)
+    covered = sorted({row[0] for row in rows})
+    print(f"trajectory: {len(rows)} rows from {len(paths)} files "
+          f"(PRs {', '.join(map(str, covered))})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
   args.add_int("cluster-ticks", 64, "arrival ticks per cluster cell");
   args.add_int("cluster-llc-factor", 8,
                "shared LLC as a multiple of the per-worker L1 (0 = no LLC)");
+  args.add_int("cluster-llc-shards", 0,
+               "LLC stripes (power of two; 0 = single-mutex flat LLC)");
   args.add_flag("csv", "emit CSV");
   args.add_flag("json", "emit JSON");
   args.add_flag("list", "list registry keys and exit");
@@ -113,6 +115,8 @@ int main(int argc, char** argv) {
     spec.cluster.placements = split_csv(args.get_string("cluster-placements"));
     spec.cluster.ticks = args.get_int("cluster-ticks");
     spec.cluster.llc_factor = args.get_int("cluster-llc-factor");
+    spec.cluster.llc_shards =
+        static_cast<std::int32_t>(args.get_int("cluster-llc-shards"));
 
     const core::Experiment experiment(spec);
     const auto result =

@@ -209,7 +209,8 @@ void ClusterReport::write_json(std::ostream& os) const {
   std::ostringstream balance;
   balance << std::setprecision(15) << imbalance();
   os << "{\n  \"placement\": \"" << json_escape(placement) << "\""
-     << ", \"workers\": " << workers.size() << ", \"steps\": " << steps
+     << ", \"workers\": " << workers.size() << ", \"llc_shards\": " << llc_shards
+     << ", \"steps\": " << steps
      << ", \"rounds\": " << rounds << ", \"migrations\": " << migrations
      << ", \"auto_migrations\": " << auto_migrations
      << ", \"migration_noops\": " << migration_noops
@@ -252,7 +253,7 @@ void ClusterReport::write_json(std::ostream& os) const {
 Cluster::Cluster(ClusterOptions options, const PlacementRegistry* registry)
     : options_(std::move(options)),
       pool_(runtime::WorkerPoolOptions{options_.workers, options_.l1,
-                                       options_.llc_words}) {
+                                       options_.llc_words, options_.llc_shards}) {
   const PlacementRegistry& reg =
       registry != nullptr ? *registry : PlacementRegistry::global();
   policy_ = reg.find(options_.placement).build();
@@ -559,6 +560,7 @@ void Cluster::drain_all() {
 ClusterReport Cluster::report() const {
   ClusterReport report;
   report.placement = options_.placement;
+  report.llc_shards = pool_.llc_shards();
   report.rounds = rounds_;
   report.migrations = migrations_;
   report.auto_migrations = auto_migrations_;

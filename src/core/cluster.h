@@ -163,6 +163,14 @@ struct ClusterOptions {
   std::int32_t workers = 2;                 ///< Worker (core) count.
   iomodel::CacheConfig l1{4096, 8};         ///< Per-worker private cache.
   std::int64_t llc_words = 0;               ///< Shared LLC; 0 = none.
+
+  /// LLC lock strategy (runtime::WorkerPoolOptions::llc_shards): 0 = flat
+  /// LruCache behind one mutex; >= 1 = address-striped ShardedLruCache with
+  /// per-stripe locks (power of two). Model counters are unaffected at 1
+  /// stripe and per-tenant counters are unaffected at any stripe count;
+  /// wall-clock thread-mode throughput is what sharding buys at 8+ workers.
+  std::int32_t llc_shards = 0;
+
   std::string placement = "round-robin";    ///< PlacementRegistry key.
 
   /// Automatic-migration triggers for adaptive placement keys; ignored by
@@ -194,6 +202,7 @@ struct ClusterReport {
   std::vector<ClusterWorkerReport> workers;  ///< Worker-id order.
   runtime::RunResult aggregate;              ///< Sum over tenants.
   iomodel::CacheStats llc;                   ///< Shared-LLC counters (zero when absent).
+  std::int32_t llc_shards = 0;               ///< LLC stripes (0 = single-mutex backend).
   std::string placement;                     ///< Policy key the cluster ran.
   std::int64_t steps = 0;                    ///< Tenant steps across all workers.
   std::int64_t rounds = 0;                   ///< Virtual-time rounds advanced.

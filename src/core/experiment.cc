@@ -351,6 +351,7 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
     cluster_opts.l1 = l1;
     cluster_opts.llc_words =
         spec_.cluster.llc_factor > 0 ? spec_.cluster.llc_factor * l1.capacity_words : 0;
+    cluster_opts.llc_shards = spec_.cluster.llc_shards;
     cluster_opts.placement = at.placement;
     cluster_opts.adaptive = spec_.cluster.adaptive;
     Cluster cluster(cluster_opts);
@@ -422,6 +423,9 @@ ExperimentResult Experiment::run(std::int32_t threads) const {
     if (spec_.cluster.ticks < 1) throw Error("cluster sweep needs ticks >= 1");
     if (spec_.cluster.llc_factor < 0) {
       throw Error("cluster sweep needs llc_factor >= 0");
+    }
+    if (spec_.cluster.llc_shards < 0) {
+      throw Error("cluster sweep needs llc_shards >= 0");
     }
   }
 

@@ -4,6 +4,7 @@
 #include <bit>
 #include <limits>
 
+#include "iomodel/simd.h"
 #include "util/int_math.h"
 
 namespace ccs::iomodel {
@@ -195,7 +196,10 @@ void LruCache::do_access_blocks(BlockId first, std::int64_t count, AccessMode mo
   // Keep the MRU head in a register across the span: the per-block relink
   // otherwise carries a store/load dependency through slab_[0].next.
   std::int32_t head = slab_[0].next;
-  for (BlockId b = first, e = first + count; b != e; ++b) {
+
+  // Scalar per-block body: exact hit/miss handling, shared by the group
+  // tail and the fallback when a probe group is not all home-slot hits.
+  const auto scalar_block = [&](BlockId b) {
     prefetch(&table_[home_slot(b + 1)]);  // harmless one-past-the-end probe
     const std::int32_t idx = table_[find_slot(b)];
     if (idx != kNil) {
@@ -220,7 +224,66 @@ void LruCache::do_access_blocks(BlockId first, std::int64_t count, AccessMode mo
       touch_block(b, write);
       head = slab_[0].next;
     }
+  };
+
+  constexpr std::int64_t kGroup = simd::kProbeBatch;
+  BlockId b = first;
+  const BlockId e = first + count;
+  while (e - b >= kGroup) {
+    if (!batch_hint_) {
+      // Recent groups were not all home-slot hits (a streaming or
+      // collision-heavy phase): a batch probe would be pure overhead on top
+      // of the scalar work. Run scalar, and re-arm batching only when a
+      // whole group hits again.
+      const std::int64_t before = hits;
+      for (std::int64_t i = 0; i < kGroup; ++i) scalar_block(b + i);
+      batch_hint_ = hits - before == kGroup;
+      b += kGroup;
+      continue;
+    }
+    // Probe kGroup consecutive blocks' home slots in one constant-trip,
+    // dependence-free pass (hash multiply, table gather, tag compare): the
+    // stage a one-block loop serializes on its load-to-use chain. Nothing
+    // mutates here, so the probes are independent by construction. An entry
+    // found at its exact home slot is what find_slot() would return without
+    // probing; mapping kNil to the sentinel (whose block is -1, never a
+    // valid id) makes the compare branch-free.
+    std::int32_t idx[simd::kProbeBatch];
+    bool all_home_hit = true;
+    CCS_SIMD_LOOP
+    for (std::int64_t i = 0; i < kGroup; ++i) {
+      const std::int32_t cand = table_[home_slot(b + i)];
+      idx[i] = cand;
+      all_home_hit &=
+          slab_[static_cast<std::size_t>(std::max(cand, 0))].block == b + i;
+    }
+    prefetch(&table_[home_slot(b + kGroup)]);
+    if (all_home_hit) {
+      // Every block hit at its home slot: only the (inherently serial) LRU
+      // relink remains, in the same ascending order as the scalar loop --
+      // probing never mutates, so state and counters stay bit-identical.
+      for (std::int64_t i = 0; i < kGroup; ++i) {
+        const std::int32_t id = idx[i];
+        Node& n = slab_[static_cast<std::size_t>(id)];
+        if (write) n.dirty = true;
+        if (head != id) {
+          slab_[static_cast<std::size_t>(n.prev)].next = n.next;
+          slab_[static_cast<std::size_t>(n.next)].prev = n.prev;
+          n.prev = 0;
+          n.next = head;
+          slab_[static_cast<std::size_t>(head)].prev = id;
+          head = id;
+        }
+      }
+      hits += kGroup;
+    } else {
+      for (std::int64_t i = 0; i < kGroup; ++i) scalar_block(b + i);
+      batch_hint_ = false;
+    }
+    b += kGroup;
   }
+  for (; b != e; ++b) scalar_block(b);
+
   slab_[0].next = head;
   stats_.accesses += count;
   stats_.hits += hits;
@@ -248,29 +311,59 @@ SetAssociativeCache::SetAssociativeCache(const CacheConfig& config, std::int32_t
   CCS_EXPECTS(blocks % ways == 0, "capacity_blocks must be divisible by ways");
   num_sets_ = blocks / ways;
   CCS_EXPECTS(is_pow2(num_sets_), "number of sets must be a power of two");
-  lines_.assign(static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(ways_), Way{});
+  const auto lines = static_cast<std::size_t>(num_sets_) * static_cast<std::size_t>(ways_);
+  tags_.assign(lines, kEmptyTag);
+  meta_.assign(lines, 0);
+}
+
+void SetAssociativeCache::fill_way(std::size_t base, BlockId block, bool write) {
+  const BlockId* tags = tags_.data() + base;
+  // Victim: the last empty way if any way is empty, else the unique
+  // least-recently-used way (meta compares as the stamp because stamps are
+  // distinct and sit above the dirty bit).
+  std::int32_t victim = 0;
+  for (std::int32_t w = 1; w < ways_; ++w) {
+    if (tags[w] == kEmptyTag) {
+      victim = w;
+    } else if (tags[victim] != kEmptyTag &&
+               meta_[base + static_cast<std::size_t>(w)] <
+                   meta_[base + static_cast<std::size_t>(victim)]) {
+      victim = w;
+    }
+  }
+  const std::size_t line = base + static_cast<std::size_t>(victim);
+  if (tags_[line] != kEmptyTag && (meta_[line] & 1) != 0) ++stats_.writebacks;
+  tags_[line] = block;
+  meta_[line] = (tick_ << 1) | (write ? 1 : 0);
 }
 
 bool SetAssociativeCache::touch_block(BlockId block, bool write) {
   ++tick_;
   const std::size_t base = set_index(block) * static_cast<std::size_t>(ways_);
-
-  Way* lru_way = &lines_[base];
+  const BlockId* tags = tags_.data() + base;
+  // One-pass early-exit scan tracking the victim as it goes: on the random
+  // single-access path the simulator's own cache misses dominate, so
+  // touching the fewest lines beats a branch-free sweep. Empty ways never
+  // match a valid id.
+  std::int32_t victim = 0;
   for (std::int32_t w = 0; w < ways_; ++w) {
-    Way& way = lines_[base + static_cast<std::size_t>(w)];
-    if (way.valid && way.block == block) {
-      way.last_use = tick_;
-      if (write) way.dirty = true;
+    if (tags[w] == block) {
+      const std::size_t line = base + static_cast<std::size_t>(w);
+      meta_[line] = (tick_ << 1) | (meta_[line] & 1) | (write ? 1 : 0);
       return true;
     }
-    if (!way.valid) {
-      lru_way = &way;  // prefer an empty way over evicting
-    } else if (lru_way->valid && way.last_use < lru_way->last_use) {
-      lru_way = &way;
+    if (tags[w] == kEmptyTag) {
+      victim = w;
+    } else if (w > 0 && tags[victim] != kEmptyTag &&
+               meta_[base + static_cast<std::size_t>(w)] <
+                   meta_[base + static_cast<std::size_t>(victim)]) {
+      victim = w;
     }
   }
-  if (lru_way->valid && lru_way->dirty) ++stats_.writebacks;
-  *lru_way = Way{block, tick_, true, write};
+  const std::size_t line = base + static_cast<std::size_t>(victim);
+  if (tags_[line] != kEmptyTag && (meta_[line] & 1) != 0) ++stats_.writebacks;
+  tags_[line] = block;
+  meta_[line] = (tick_ << 1) | (write ? 1 : 0);
   return false;
 }
 
@@ -288,8 +381,51 @@ void SetAssociativeCache::do_access_blocks(BlockId first, std::int64_t count,
                                            AccessMode mode) {
   const bool write = mode == AccessMode::kWrite;
   std::int64_t hits = 0;
-  for (BlockId b = first, e = first + count; b != e; ++b) {
-    if (b + 1 != e) prefetch(&lines_[set_index(b + 1) * static_cast<std::size_t>(ways_)]);
+  constexpr std::int64_t kGroup = simd::kProbeBatch;
+  BlockId b = first;
+  const BlockId e = first + count;
+
+  // Consecutive blocks map to consecutive sets, so when a group of kGroup
+  // blocks neither wraps the set index nor exceeds the set count, its tag
+  // rows are one contiguous, mutually disjoint stretch of the tag plane:
+  // probe them in a single dependence-free sweep (kGroup * ways_ compares),
+  // then apply the per-block updates in order. Disjointness makes the
+  // precomputed probe exact -- updating row i cannot change row j -- and
+  // the tick stamps advance per block exactly as in the scalar loop.
+  while (e - b >= kGroup) {
+    const std::size_t set0 = set_index(b);
+    if (set0 + kGroup > static_cast<std::size_t>(num_sets_)) {
+      // Group would wrap past the last set; step one block scalar.
+      hits += touch_block(b, write) ? 1 : 0;
+      ++b;
+      continue;
+    }
+    const BlockId* tags = tags_.data() + set0 * static_cast<std::size_t>(ways_);
+    std::int32_t hit_way[simd::kProbeBatch];
+    for (std::int64_t i = 0; i < kGroup; ++i) {
+      const BlockId* row = tags + i * ways_;
+      std::int32_t found = -1;
+      CCS_SIMD_LOOP
+      for (std::int32_t w = 0; w < ways_; ++w) {
+        if (row[w] == b + i) found = w;  // at most one way matches
+      }
+      hit_way[i] = found;
+    }
+    for (std::int64_t i = 0; i < kGroup; ++i) {
+      ++tick_;
+      const std::size_t base =
+          (set0 + static_cast<std::size_t>(i)) * static_cast<std::size_t>(ways_);
+      if (hit_way[i] >= 0) {
+        ++hits;
+        const std::size_t line = base + static_cast<std::size_t>(hit_way[i]);
+        meta_[line] = (tick_ << 1) | (meta_[line] & 1) | (write ? 1 : 0);
+      } else {
+        fill_way(base, b + i, write);
+      }
+    }
+    b += kGroup;
+  }
+  for (; b != e; ++b) {
     hits += touch_block(b, write) ? 1 : 0;
   }
   stats_.accesses += count;
@@ -298,18 +434,19 @@ void SetAssociativeCache::do_access_blocks(BlockId first, std::int64_t count,
 }
 
 void SetAssociativeCache::flush() {
-  for (Way& way : lines_) {
-    if (way.valid && way.dirty) ++stats_.writebacks;
-    way = Way{};
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    if (tags_[i] != kEmptyTag && (meta_[i] & 1) != 0) ++stats_.writebacks;
   }
+  std::fill(tags_.begin(), tags_.end(), kEmptyTag);
+  std::fill(meta_.begin(), meta_.end(), std::uint64_t{0});
 }
 
 bool SetAssociativeCache::contains(Addr addr) const {
   const BlockId block = addr / config_.block_words;
   const std::size_t base = set_index(block) * static_cast<std::size_t>(ways_);
+  const BlockId* tags = tags_.data() + base;
   for (std::int32_t w = 0; w < ways_; ++w) {
-    const Way& way = lines_[base + static_cast<std::size_t>(w)];
-    if (way.valid && way.block == block) return true;
+    if (tags[w] == block) return true;
   }
   return false;
 }

@@ -164,9 +164,26 @@ class LruCache final : public CacheSim {
   std::size_t table_mask_ = 0;
   std::int32_t table_shift_ = 64;    // 64 - log2(table size)
   std::int64_t size_ = 0;
+
+  /// Bulk-loop execution hint: whether the last probe group was all
+  /// home-slot hits, i.e. whether attempting the batched group probe is
+  /// likely to pay off. Pure strategy state -- it never changes counters or
+  /// replacement order, only which (bit-identical) loop body runs -- kept
+  /// across calls so a streaming all-miss phase stops paying for doomed
+  /// batch probes after its first group.
+  bool batch_hint_ = true;
 };
 
 /// k-way set-associative LRU. `ways == 1` gives a direct-mapped cache.
+///
+/// Line state is stored structure-of-arrays, row-major by set: a tag plane
+/// (kEmptyTag = -1 marks an empty way; block ids are non-negative, so empty
+/// ways never match without a separate valid-bit check) and a meta plane
+/// packing each way's recency stamp and dirty bit into one word. The bulk
+/// path probes simd::kProbeBatch consecutive sets' tag rows -- one
+/// contiguous, dependence-free compare sweep -- per group; the single-access
+/// path keeps the classic one-pass early-exit scan, which wins when the
+/// simulator's own memory traffic (not the compare loop) dominates.
 class SetAssociativeCache final : public CacheSim {
  public:
   /// Requires capacity_blocks % ways == 0 and a power-of-two set count (so
@@ -186,12 +203,7 @@ class SetAssociativeCache final : public CacheSim {
   void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override;
 
  private:
-  struct Way {
-    BlockId block = -1;
-    std::uint64_t last_use = 0;
-    bool valid = false;
-    bool dirty = false;
-  };
+  static constexpr BlockId kEmptyTag = -1;
 
   std::size_t set_index(BlockId block) const {
     return static_cast<std::size_t>(block & (num_sets_ - 1));
@@ -201,12 +213,22 @@ class SetAssociativeCache final : public CacheSim {
   /// accesses/hits/misses counters.
   bool touch_block(BlockId block, bool write);
 
+  /// Miss handling for a probed set row: victim choice, writeback count,
+  /// fill. `base` indexes the row, tick_ has already been advanced.
+  void fill_way(std::size_t base, BlockId block, bool write);
+
   CacheConfig config_;
   std::int32_t ways_;
   std::int64_t num_sets_;
   std::uint64_t tick_ = 0;
   CacheStats stats_;
-  std::vector<Way> lines_;  // num_sets_ * ways_, row-major by set
+  // Structure-of-arrays line state, num_sets_ * ways_ entries row-major by
+  // set: tags_[base + w] pairs with meta_[base + w]. Meta packs the recency
+  // stamp above the dirty bit -- (tick << 1) | dirty -- so LRU victim
+  // selection is one integer compare (stamps are unique, the stamp field
+  // dominates) and a line's whole state is two planes, not three.
+  std::vector<BlockId> tags_;           // kEmptyTag = way is empty
+  std::vector<std::uint64_t> meta_;     // (last-use tick << 1) | dirty
 };
 
 /// Factory helpers.

@@ -43,6 +43,17 @@ std::int64_t HierarchyCache::level_words(std::size_t level) const {
   return levels_[level]->config().capacity_words;
 }
 
+namespace {
+
+void check_llc_geometry(const CacheConfig& llc, const CacheConfig& l1) {
+  CCS_EXPECTS(llc.block_words == l1.block_words,
+              "shared LLC must use the private level's block size");
+  CCS_EXPECTS(llc.capacity_words > l1.capacity_words,
+              "shared LLC must be strictly larger than a private level");
+}
+
+}  // namespace
+
 SharedLlcCache::SharedLlcCache(const CacheConfig& private_config, LruCache* llc,
                                std::mutex* llc_mutex)
     : CacheSim(private_config.block_words),
@@ -51,12 +62,16 @@ SharedLlcCache::SharedLlcCache(const CacheConfig& private_config, LruCache* llc,
       llc_mutex_(llc_mutex) {
   CCS_EXPECTS((llc == nullptr) == (llc_mutex == nullptr),
               "a shared LLC and its mutex must be provided together");
-  if (llc_ != nullptr) {
-    CCS_EXPECTS(llc_->config().block_words == private_config.block_words,
-                "shared LLC must use the private level's block size");
-    CCS_EXPECTS(llc_->config().capacity_words > private_config.capacity_words,
-                "shared LLC must be strictly larger than a private level");
-  }
+  if (llc_ != nullptr) check_llc_geometry(llc_->config(), private_config);
+}
+
+SharedLlcCache::SharedLlcCache(const CacheConfig& private_config, ShardedLruCache* llc)
+    : CacheSim(private_config.block_words),
+      l1_(private_config),
+      llc_(nullptr),
+      llc_mutex_(nullptr),
+      sharded_llc_(llc) {
+  if (sharded_llc_ != nullptr) check_llc_geometry(sharded_llc_->config(), private_config);
 }
 
 void SharedLlcCache::access(Addr addr, AccessMode mode) {

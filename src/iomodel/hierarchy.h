@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "iomodel/cache.h"
+#include "iomodel/sharded_cache.h"
 
 namespace ccs::iomodel {
 
@@ -70,18 +71,29 @@ class HierarchyCache final : public CacheSim {
 /// contains(), and replacement state are the private level's, so per-worker
 /// counters are independent of who else shares the LLC. A private miss
 /// additionally probes-and-installs the shared LLC (inclusive, like
-/// HierarchyCache) under `llc_mutex`, which is the only synchronization a
-/// pool of worker threads needs: private levels are single-owner by
-/// construction.
+/// HierarchyCache); that probe is the only synchronization a pool of worker
+/// threads needs, because private levels are single-owner by construction.
+/// Two shared-LLC backends are supported:
+///
+///  * a flat LruCache guarded by a pool-wide `llc_mutex` (the original
+///    single-mutex design -- every cross-worker miss serializes), or
+///  * a ShardedLruCache, which locks only the stripe owning the missed
+///    block internally, so workers missing on different stripes proceed in
+///    parallel.
 ///
 /// With a null LLC the class degenerates to a plain private LRU, so one
-/// worker type covers both the flat-cache and shared-LLC configurations.
+/// worker type covers the flat-cache and both shared-LLC configurations.
 class SharedLlcCache final : public CacheSim {
  public:
   /// `llc` and `llc_mutex` must either both be provided (and outlive this
   /// cache) or both be null; the LLC must share the private block size and
   /// be strictly larger than the private level.
   SharedLlcCache(const CacheConfig& private_config, LruCache* llc, std::mutex* llc_mutex);
+
+  /// Sharded backend: `llc` (may be null for no LLC) locks per stripe
+  /// internally, so no pool-wide mutex exists at all. Same geometry
+  /// requirements as the single-mutex ctor.
+  SharedLlcCache(const CacheConfig& private_config, ShardedLruCache* llc);
 
   void access(Addr addr, AccessMode mode) override;
   void flush() override;  ///< Flushes the private level only; the LLC is shared.
@@ -91,7 +103,7 @@ class SharedLlcCache final : public CacheSim {
   const CacheStats& stats() const override { return l1_.stats(); }
   const CacheConfig& config() const override { return l1_.config(); }
 
-  bool has_llc() const noexcept { return llc_ != nullptr; }
+  bool has_llc() const noexcept { return llc_ != nullptr || sharded_llc_ != nullptr; }
 
   /// Resident blocks in the private level (for placement-affinity probes).
   LruCache& private_level() noexcept { return l1_; }
@@ -101,9 +113,14 @@ class SharedLlcCache final : public CacheSim {
   void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override;
 
  private:
-  /// Private probe; on a miss, forwards to the shared LLC under the mutex.
+  /// Private probe; on a miss, forwards to the shared LLC -- under the
+  /// pool-wide mutex (flat backend) or the owning stripe's internal lock
+  /// (sharded backend).
   void probe_block(BlockId block, AccessMode mode) {
-    if (!l1_.access_block(block, mode) && llc_ != nullptr) {
+    if (l1_.access_block(block, mode)) return;
+    if (sharded_llc_ != nullptr) {
+      sharded_llc_->access_block(block, mode);
+    } else if (llc_ != nullptr) {
       const std::lock_guard<std::mutex> lock(*llc_mutex_);
       llc_->access_block(block, mode);
     }
@@ -112,6 +129,7 @@ class SharedLlcCache final : public CacheSim {
   LruCache l1_;
   LruCache* llc_;
   std::mutex* llc_mutex_;
+  ShardedLruCache* sharded_llc_ = nullptr;
 };
 
 }  // namespace ccs::iomodel

@@ -1,0 +1,108 @@
+#include "iomodel/sharded_cache.h"
+
+#include "util/int_math.h"
+
+namespace ccs::iomodel {
+
+ShardedLruCache::ShardedLruCache(const CacheConfig& config, std::int32_t shards)
+    : CacheSim(config.block_words),
+      config_(config),
+      shards_(shards),
+      shard_mask_(shards - 1) {
+  CCS_EXPECTS(shards >= 1, "need at least one shard");
+  CCS_EXPECTS(is_pow2(shards), "shard count must be a power of two");
+  const std::int64_t blocks = config.capacity_blocks();
+  CCS_EXPECTS(blocks >= shards, "every shard needs at least one block");
+  // Capacity splits as evenly as the block count allows: the first
+  // `blocks % shards` stripes hold one extra block. shards == 1 therefore
+  // reproduces the flat LruCache geometry exactly.
+  const std::int64_t base = blocks / shards;
+  const std::int64_t extra = blocks % shards;
+  shards_store_.reserve(static_cast<std::size_t>(shards));
+  for (std::int32_t s = 0; s < shards; ++s) {
+    const std::int64_t cap_blocks = base + (s < extra ? 1 : 0);
+    shards_store_.push_back(std::make_unique<Shard>(
+        CacheConfig{cap_blocks * config.block_words, config.block_words}));
+  }
+}
+
+void ShardedLruCache::access(Addr addr, AccessMode mode) {
+  CCS_EXPECTS(addr >= 0, "negative address");
+  access_block(block_of(addr), mode);
+}
+
+void ShardedLruCache::do_access_blocks(BlockId first, std::int64_t count,
+                                       AccessMode mode) {
+  if (shards_ == 1) {
+    Shard& s = shard(0);
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    s.cache.access_blocks(first, count, mode);
+    return;
+  }
+  // Stripes are independent, so the span may be walked stripe-by-stripe
+  // (one lock acquisition each) as long as every stripe sees its own blocks
+  // in ascending order -- bit-identical to the per-block scalar loop.
+  const BlockId end = first + count;
+  for (std::int32_t s = 0; s < shards_; ++s) {
+    const BlockId stripe = static_cast<BlockId>(s);
+    BlockId b = first + ((stripe - first) & shard_mask_);
+    if (b >= end) continue;
+    Shard& sh = shard(s);
+    const std::lock_guard<std::mutex> lock(sh.mutex);
+    for (; b < end; b += shards_) sh.cache.access_block(b, mode);
+  }
+}
+
+void ShardedLruCache::flush() {
+  for (std::int32_t s = 0; s < shards_; ++s) {
+    Shard& sh = shard(s);
+    const std::lock_guard<std::mutex> lock(sh.mutex);
+    sh.cache.flush();
+  }
+}
+
+bool ShardedLruCache::contains(Addr addr) const {
+  if (addr < 0) return false;
+  const Shard& sh = shard(shard_of(block_of(addr)));
+  const std::lock_guard<std::mutex> lock(sh.mutex);
+  return sh.cache.contains(addr);
+}
+
+const CacheStats& ShardedLruCache::stats() const {
+  CacheStats sum;
+  for (std::int32_t s = 0; s < shards_; ++s) {
+    const Shard& sh = shard(s);
+    const std::lock_guard<std::mutex> lock(sh.mutex);
+    const CacheStats& part = sh.cache.stats();
+    sum.accesses += part.accesses;
+    sum.hits += part.hits;
+    sum.misses += part.misses;
+    sum.writebacks += part.writebacks;
+  }
+  agg_ = sum;
+  return agg_;
+}
+
+const CacheStats& ShardedLruCache::shard_stats(std::int32_t s) const {
+  CCS_EXPECTS(s >= 0 && s < shards_, "shard index out of range");
+  return shard(s).cache.stats();
+}
+
+std::int64_t ShardedLruCache::resident_blocks() const {
+  std::int64_t total = 0;
+  for (std::int32_t s = 0; s < shards_; ++s) {
+    const Shard& sh = shard(s);
+    const std::lock_guard<std::mutex> lock(sh.mutex);
+    total += sh.cache.resident_blocks();
+  }
+  return total;
+}
+
+std::unique_ptr<CacheSim> make_sharded_lru(std::int64_t capacity_words,
+                                           std::int64_t block_words,
+                                           std::int32_t shards) {
+  return std::make_unique<ShardedLruCache>(CacheConfig{capacity_words, block_words},
+                                           shards);
+}
+
+}  // namespace ccs::iomodel

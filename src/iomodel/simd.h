@@ -1,0 +1,48 @@
+// Compile-time SIMD batching knobs for the bulk cache loops.
+//
+// The bulk block paths (LruCache::do_access_blocks, the set-associative way
+// probe) process per-block tag work in fixed-width groups so the pure
+// arithmetic stages -- hash, table load, tag compare -- run over short
+// constant-trip-count loops the compiler can vectorize (and, failing that,
+// unroll into independent scalar chains, which already breaks the
+// load-to-use serialization of a one-block-at-a-time loop). The group width
+// is chosen here from the target ISA at compile time; every use site keeps
+// the one-block scalar body for group tails and slow paths, so there is no
+// runtime dispatch and no counter difference between builds -- the SIMD
+// path is a pure execution strategy, gated bit-identical by the
+// bulk-vs-scalar differential suite.
+#pragma once
+
+namespace ccs::iomodel::simd {
+
+/// Blocks per probe group in the bulk loops. 8 on ISAs with 256-bit+
+/// vectors and gathers (AVX2/AVX-512), 4 elsewhere -- four independent
+/// 64-bit lanes is what 128-bit vectors (SSE2/NEON) or plain scalar
+/// unrolling sustain without spilling.
+#if defined(__AVX512F__) || defined(__AVX2__)
+inline constexpr int kProbeBatch = 8;
+#else
+inline constexpr int kProbeBatch = 4;
+#endif
+
+/// True when the batch width was picked for a real vector ISA (for
+/// diagnostics/benchmark labels only; both paths are always compiled).
+#if defined(__AVX512F__) || defined(__AVX2__) || defined(__SSE2__) || \
+    defined(__ARM_NEON)
+inline constexpr bool kVectorIsa = true;
+#else
+inline constexpr bool kVectorIsa = false;
+#endif
+
+}  // namespace ccs::iomodel::simd
+
+/// Marks a fixed-width batch loop as dependence-free so the vectorizer does
+/// not give up on the (provably independent) gathers/compares inside.
+#if defined(__clang__)
+#define CCS_SIMD_LOOP \
+  _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define CCS_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define CCS_SIMD_LOOP
+#endif

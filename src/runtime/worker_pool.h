@@ -11,11 +11,16 @@
 // reload misses when it migrates to another worker.
 //
 // Concurrency contract: a worker's private cache is single-owner (exactly
-// one thread may drive worker w at a time); the shared LLC is protected by
-// the pool's internal mutex, taken only on private-level misses. Private
-// per-worker counters are deterministic for a fixed per-worker access
-// stream regardless of how other workers interleave; the shared LLC's
-// counters are deterministic only under a serialized (virtual-time) driver.
+// one thread may drive worker w at a time); the shared LLC is probed only
+// on private-level misses, under either the pool's single mutex
+// (llc_shards == 0, the original design) or the owning stripe's lock of an
+// address-striped iomodel::ShardedLruCache (llc_shards >= 1), where misses
+// on different stripes never contend. Private per-worker counters are
+// deterministic for a fixed per-worker access stream regardless of how
+// other workers interleave -- and independent of the LLC backend, since the
+// shared level never feeds back into L1 replacement; the shared LLC's
+// hit/miss split is deterministic only under a serialized (virtual-time)
+// driver, while its access total always equals the summed private misses.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +43,14 @@ struct WorkerPoolOptions {
   /// (workers then have independent flat caches, the §7/E14 model). Must be
   /// strictly larger than l1 when non-zero.
   std::int64_t llc_words = 0;
+
+  /// LLC lock strategy: 0 keeps the original flat LruCache behind one
+  /// pool-wide mutex; >= 1 backs the LLC with an address-striped
+  /// ShardedLruCache of that many stripes (power of two), each behind its
+  /// own lock. 1 stripe is bit-identical to the single-mutex cache (same
+  /// global LRU) while already routing through the sharded code path.
+  /// Ignored when llc_words == 0.
+  std::int32_t llc_shards = 0;
 };
 
 /// N private worker caches over an optional shared LLC.
@@ -59,11 +72,18 @@ class WorkerPool {
     return worker_cache(w).stats();
   }
 
-  bool has_llc() const noexcept { return llc_ != nullptr; }
+  bool has_llc() const noexcept { return llc_ != nullptr || sharded_llc_ != nullptr; }
+
+  /// Stripes backing the shared LLC (0 = single-mutex flat backend).
+  std::int32_t llc_shards() const noexcept {
+    return sharded_llc_ != nullptr ? sharded_llc_->shard_count() : 0;
+  }
 
   /// Shared-LLC counters. Requires has_llc(). Every private-level miss of
   /// every worker is one LLC access, so under a serialized driver
-  /// llc_stats().accesses == sum of worker_stats(w).misses.
+  /// llc_stats().accesses == sum of worker_stats(w).misses. With a sharded
+  /// backend the reference is a per-call aggregate snapshot (re-call for
+  /// fresh counters); call it from the controlling thread while quiescent.
   const iomodel::CacheStats& llc_stats() const;
 
   /// Blocks of [region.base, region.end()) resident in worker w's private
@@ -84,8 +104,9 @@ class WorkerPool {
 
  private:
   WorkerPoolOptions options_;
-  std::unique_ptr<iomodel::LruCache> llc_;  ///< Null when llc_words == 0.
+  std::unique_ptr<iomodel::LruCache> llc_;  ///< Single-mutex backend (llc_shards == 0).
   std::mutex llc_mutex_;
+  std::unique_ptr<iomodel::ShardedLruCache> sharded_llc_;  ///< Striped backend.
   std::vector<std::unique_ptr<iomodel::SharedLlcCache>> workers_;
 };
 

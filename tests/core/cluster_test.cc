@@ -53,10 +53,12 @@ ClusterOptions small_cluster(std::int32_t workers, const std::string& placement)
 }
 
 /// Serves the scenario for 6 bursty ticks with a rebalance every other
-/// tick; `threads` picks the execution mode.
+/// tick; `threads` picks the execution mode, `llc_shards` the LLC backend.
 ClusterReport serve(const Scenario& s, std::int32_t workers, const std::string& placement,
-                    bool threads) {
-  Cluster cluster(small_cluster(workers, placement));
+                    bool threads, std::int32_t llc_shards = 0) {
+  ClusterOptions opts = small_cluster(workers, placement);
+  opts.llc_shards = llc_shards;
+  Cluster cluster(opts);
   for (std::size_t i = 0; i < s.tenants.size(); ++i) {
     cluster.admit(s.tenants[i].first, s.tenants[i].second, s.partitions[i], {}, 1024);
   }
@@ -98,7 +100,10 @@ TEST(Cluster, VirtualTimeRepeatRunsAreCounterIdentical) {
 
 TEST(Cluster, ThreadModePerTenantResultsSumToVirtualTimeAggregates) {
   const Scenario s = four_tenant_scenario();
-  for (const std::int32_t workers : {1, 2, 4}) {
+  // 8 and 16 cover the oversubscribed tail: more workers than tenants, so
+  // some workers idle -- determinism must not depend on every worker having
+  // work (and on this host, on threads exceeding physical cores).
+  for (const std::int32_t workers : {1, 2, 4, 8, 16}) {
     const ClusterReport virtual_time = serve(s, workers, "round-robin", false);
     const ClusterReport threaded = serve(s, workers, "round-robin", true);
     ASSERT_EQ(virtual_time.tenants.size(), threaded.tenants.size());
@@ -119,6 +124,42 @@ TEST(Cluster, ThreadModePerTenantResultsSumToVirtualTimeAggregates) {
     // though the hit/miss split may differ under real interleaving.
     EXPECT_EQ(threaded.llc.accesses, virtual_time.llc.accesses) << workers;
   }
+}
+
+TEST(Cluster, ShardedLlcKeepsThreadVirtualDeterminism) {
+  // The same thread-mode ≡ virtual-time gate with the address-striped LLC
+  // (llc_shards = 4): per-tenant counters bit-identical across modes, and
+  // total LLC probes still equal summed private misses.
+  const Scenario s = four_tenant_scenario();
+  for (const std::int32_t workers : {1, 2, 4, 8, 16}) {
+    const ClusterReport virtual_time = serve(s, workers, "round-robin", false, 4);
+    const ClusterReport threaded = serve(s, workers, "round-robin", true, 4);
+    ASSERT_EQ(virtual_time.tenants.size(), threaded.tenants.size());
+    for (std::size_t i = 0; i < virtual_time.tenants.size(); ++i) {
+      EXPECT_EQ(virtual_time.tenants[i].totals, threaded.tenants[i].totals)
+          << workers << " workers, tenant " << virtual_time.tenants[i].name;
+    }
+    EXPECT_EQ(threaded.aggregate, virtual_time.aggregate) << workers;
+    EXPECT_EQ(threaded.llc.accesses, virtual_time.llc.accesses) << workers;
+    EXPECT_EQ(virtual_time.llc_shards, 4) << workers;
+  }
+}
+
+TEST(Cluster, OneShardLlcIsBitIdenticalToFlatLlc) {
+  // llc_shards = 1 is the flat LruCache geometry behind a different lock:
+  // a virtual-time run must match the single-mutex backend counter-for-
+  // counter, down to the shared-LLC hit/miss split.
+  const Scenario s = four_tenant_scenario();
+  const ClusterReport flat = serve(s, 4, "affinity", false, 0);
+  const ClusterReport one_shard = serve(s, 4, "affinity", false, 1);
+  ASSERT_EQ(flat.tenants.size(), one_shard.tenants.size());
+  for (std::size_t i = 0; i < flat.tenants.size(); ++i) {
+    EXPECT_EQ(flat.tenants[i].totals, one_shard.tenants[i].totals)
+        << flat.tenants[i].name;
+  }
+  EXPECT_EQ(flat.aggregate, one_shard.aggregate);
+  EXPECT_EQ(flat.llc, one_shard.llc);
+  EXPECT_EQ(flat.makespan(), one_shard.makespan());
 }
 
 TEST(Cluster, RoundRobinStripesAdmissionsAcrossWorkers) {

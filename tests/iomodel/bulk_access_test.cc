@@ -20,6 +20,7 @@
 
 #include "iomodel/cache.h"
 #include "iomodel/hierarchy.h"
+#include "iomodel/sharded_cache.h"
 #include "iomodel/trace.h"
 #include "util/contracts.h"
 #include "util/rng.h"
@@ -67,6 +68,22 @@ std::vector<CachePair> make_pairs(std::int64_t capacity_words) {
            std::vector<std::int64_t>{capacity_words / 4, capacity_words}, kBlock),
        std::make_unique<HierarchyCache>(
            std::vector<std::int64_t>{capacity_words / 4, capacity_words}, kBlock)});
+  // One-stripe sharded LRU against a plain flat LruCache reference: the
+  // bit-identity contract (same stats, residency, and replacement order)
+  // that lets the cluster determinism gates treat llc_shards=1 as a pure
+  // code-path change. The bulk side additionally exercises the sharded
+  // stripe-walk bulk loop against the flat per-access order.
+  pairs.push_back(
+      {"sharded1-vs-flat",
+       std::make_unique<ShardedLruCache>(CacheConfig{capacity_words, kBlock}, 1),
+       std::make_unique<LruCache>(CacheConfig{capacity_words, kBlock})});
+  // Four stripes: bulk stripe-walk vs per-access scalar order on the same
+  // geometry (per-stripe LRU differs from global LRU, so the reference must
+  // be another sharded instance).
+  pairs.push_back(
+      {"sharded4",
+       std::make_unique<ShardedLruCache>(CacheConfig{capacity_words, kBlock}, 4),
+       std::make_unique<ShardedLruCache>(CacheConfig{capacity_words, kBlock}, 4)});
   return pairs;
 }
 

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "iomodel/cache.h"
 #include "util/error.h"
 
@@ -106,6 +109,108 @@ TEST(WorkerPool, FlushDropsThePrivateLevelOnly) {
   // The block is still in the shared level: refetching hits the LLC.
   pool.worker_cache(0).access(0, AccessMode::kRead);
   EXPECT_EQ(pool.llc_stats().hits, 1);
+}
+
+TEST(WorkerPool, ShardedLlcBehavesLikeFlatOnSerialTraffic) {
+  // The existing cross-worker LLC contracts, re-run against the sharded
+  // backend: a serialized driver must see the same accesses == summed
+  // private misses identity, and cross-worker refetches must hit.
+  WorkerPoolOptions opts = small_pool(3, 4096);
+  opts.llc_shards = 4;
+  WorkerPool pool(opts);
+  EXPECT_EQ(pool.llc_shards(), 4);
+  pool.worker_cache(0).access(0, AccessMode::kRead);
+  pool.worker_cache(1).access(0, AccessMode::kRead);
+  EXPECT_EQ(pool.llc_stats().accesses, 2);
+  EXPECT_EQ(pool.llc_stats().hits, 1);
+  for (std::int32_t w = 0; w < pool.size(); ++w) {
+    for (iomodel::Addr a = 0; a < 1024; a += 5) {
+      pool.worker_cache(w).access(a + 64 * w, AccessMode::kRead);
+    }
+  }
+  std::int64_t private_misses = 0;
+  for (std::int32_t w = 0; w < pool.size(); ++w) {
+    private_misses += pool.worker_stats(w).misses;
+  }
+  EXPECT_EQ(pool.llc_stats().accesses, private_misses);
+}
+
+/// One worker's share of the contention test: sweep a block band through
+/// its private cache `passes` times. The tiny L1 (8 blocks) never holds the
+/// band, so every block access probes the shared LLC under its lock.
+void sweep_band(WorkerPool& pool, std::int32_t w, iomodel::BlockId base,
+                std::int64_t blocks, std::int64_t passes) {
+  for (std::int64_t p = 0; p < passes; ++p) {
+    pool.worker_cache(w).access_blocks(base, blocks, AccessMode::kRead);
+  }
+}
+
+TEST(WorkerPool, ConcurrentLlcStatsMatchVirtualTimeExactly) {
+  // Real threads vs a serialized (virtual-time) run of the same per-worker
+  // streams, for both LLC backends and both band layouts. The LLC is big
+  // enough that nothing is ever evicted, so the aggregate split is a pure
+  // function of the streams, not the interleaving: misses == distinct
+  // blocks touched, accesses == summed private misses (each worker's L1 is
+  // private, so its miss count is deterministic). Aggregate LLC counters
+  // and every per-worker counter must agree exactly.
+  constexpr std::int32_t kWorkers = 4;
+  constexpr std::int64_t kBand = 64;
+  constexpr std::int64_t kPasses = 3;
+  for (const std::int32_t shards : {0, 4}) {
+    for (const bool overlap : {false, true}) {
+      WorkerPoolOptions opts;
+      opts.workers = kWorkers;
+      opts.l1 = CacheConfig{64, 8};  // 8 blocks: a 64-block band never fits
+      opts.llc_words = 64 * 1024;    // all bands stay resident: no evictions
+      opts.llc_shards = shards;
+      const auto base_of = [&](std::int32_t w) {
+        return overlap ? iomodel::BlockId{0}
+                       : static_cast<iomodel::BlockId>(w) * kBand;
+      };
+
+      WorkerPool threaded(opts);
+      std::vector<std::thread> threads;
+      threads.reserve(kWorkers);
+      for (std::int32_t w = 0; w < kWorkers; ++w) {
+        threads.emplace_back(sweep_band, std::ref(threaded), w, base_of(w),
+                             kBand, kPasses);
+      }
+      for (auto& t : threads) t.join();
+
+      WorkerPool serial(opts);
+      for (std::int32_t w = 0; w < kWorkers; ++w) {
+        sweep_band(serial, w, base_of(w), kBand, kPasses);
+      }
+
+      const std::string where = "shards=" + std::to_string(shards) +
+                                (overlap ? " overlapping" : " disjoint");
+      EXPECT_EQ(threaded.llc_stats(), serial.llc_stats()) << where;
+      EXPECT_EQ(threaded.llc_stats().misses,
+                overlap ? kBand : kWorkers * kBand)
+          << where;  // one cold miss per distinct block, never re-evicted
+      for (std::int32_t w = 0; w < kWorkers; ++w) {
+        EXPECT_EQ(threaded.worker_stats(w), serial.worker_stats(w))
+            << where << " worker " << w;
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, RejectsDegenerateShardGeometry) {
+  WorkerPoolOptions opts = small_pool(2, 4096);
+  opts.llc_shards = -1;
+  EXPECT_THROW(WorkerPool{opts}, Error);
+  opts.llc_shards = 3;  // not a power of two
+  EXPECT_THROW(WorkerPool{opts}, Error);
+  opts.llc_shards = 1024;  // 4096/8 = 512 blocks < 1024 shards
+  EXPECT_THROW(WorkerPool{opts}, Error);
+  opts.llc_shards = 512;  // exactly one block per stripe is fine
+  EXPECT_NO_THROW(WorkerPool{opts});
+  // Without an LLC the shard count is ignored (no shared level to stripe).
+  WorkerPoolOptions no_llc = small_pool(2, 0);
+  no_llc.llc_shards = 16;
+  WorkerPool flat(no_llc);
+  EXPECT_FALSE(flat.has_llc());
 }
 
 TEST(WorkerPool, RejectsDegenerateGeometry) {
