@@ -5,6 +5,8 @@
 //                      [--l1-words=4096] [--llc-words=32768] [--llc-shards=0]
 //                      [--ticks=64] [--arrival=bursty-64]
 //                      [--rebalance-every=8] [--mode=both]
+//                      [--max-live-sessions=0] [--swap]
+//                      [--churn=0] [--churn-max-live=8]
 //                      [--no-auto-migrate] [--json]
 //
 // Demonstrates: core::Cluster admitting sessions onto a runtime::WorkerPool
@@ -16,9 +18,22 @@
 // verifies this and exits nonzero on a mismatch). --no-auto-migrate pins
 // adaptive placement to its never-fire baseline, which must reproduce
 // --placement=affinity exactly.
+//
+// Session lifecycle: --max-live-sessions=N switches admission to
+// "bounded-live" with budget N; --swap enables the idle-session swap tier.
+// --churn=N replaces the steady tick loop with a deterministic
+// open/push/close trace of N logical sessions (at most --churn-max-live
+// open at once; virtual time only): sessions are admitted, served in
+// bursts, and closed forever, so the report's `retired` aggregate carries
+// the work and `lifecycle` records peak_live -- run it at N in the
+// thousands to watch memory stay O(live). With --swap the churn loop sheds
+// every idle session at each quiescent point (aggressive eviction), and the
+// report -- minus the one-line "lifecycle" accounting -- must be
+// byte-identical to the swap-off run (the CI churn gate).
 
 #include <iostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cluster.h"
@@ -35,6 +50,51 @@ struct TenantSpec {
   ccs::sdf::SdfGraph graph;
   ccs::partition::Partition partition;
 };
+
+/// Runs a churn lifecycle trace (open / bursty push / close) in virtual
+/// time. Logical session s runs the shape at s % specs.size(); with the
+/// swap tier on, every quiescent point evicts all idle sessions so each
+/// later burst pays (and verifies) a rehydration.
+ccs::core::ClusterReport serve_churn(const std::vector<TenantSpec>& specs,
+                                     const ccs::core::ClusterOptions& opts,
+                                     std::int64_t m, std::int64_t sessions,
+                                     std::int64_t max_live) {
+  using namespace ccs;
+  core::Cluster cluster(opts);
+  workloads::ChurnOptions churn;
+  churn.sessions = sessions;
+  churn.max_concurrent = max_live;
+  std::unordered_map<std::int64_t, core::TenantId> live;
+  for (const workloads::SessionEvent& e : workloads::churn_trace(churn)) {
+    switch (e.kind) {
+      case workloads::SessionEvent::Kind::kOpen: {
+        const TenantSpec& spec =
+            specs[static_cast<std::size_t>(e.session) % specs.size()];
+        const core::TenantId id =
+            cluster.admit("sess-" + std::to_string(e.session), spec.graph,
+                          spec.partition, {}, m);
+        if (id == core::kNoTenant) {
+          throw Error("admission rejected churn session " +
+                      std::to_string(e.session) +
+                      "; raise --max-live-sessions or add --swap");
+        }
+        live.emplace(e.session, id);
+        break;
+      }
+      case workloads::SessionEvent::Kind::kPush:
+        cluster.push(live.at(e.session), e.items);
+        cluster.run_until_idle();
+        if (opts.swap) cluster.swap_out_idle();
+        break;
+      case workloads::SessionEvent::Kind::kClose:
+        cluster.close(live.at(e.session));
+        live.erase(e.session);
+        break;
+    }
+  }
+  cluster.drain_all();
+  return cluster.report();
+}
 
 /// Runs the whole serving scenario in one execution mode.
 ccs::core::ClusterReport serve(const std::vector<TenantSpec>& specs,
@@ -86,6 +146,14 @@ int main(int argc, char** argv) {
   args.add_int("stagger", 0, "per-tenant arrival phase shift (tenant i waits i*stagger ticks)");
   args.add_int("rebalance-every", 8, "ticks between placement rebalances (0 = never)");
   args.add_string("mode", "both", "virtual, threads, or both (verify agreement)");
+  args.add_int("max-live-sessions", 0,
+               "bounded-live admission budget (0 = unbounded admission)");
+  args.add_flag("swap", "enable the idle-session swap tier (serialize idle "
+                        "sessions; rehydrate transparently on the next push)");
+  args.add_int("churn", 0,
+               "churn mode: serve this many logical open/push/close sessions "
+               "instead of the steady tick loop (virtual time only)");
+  args.add_int("churn-max-live", 8, "concurrent-open bound of the churn trace");
   args.add_flag("no-auto-migrate",
                 "disable adaptive placement's automatic migration triggers "
                 "(the never-fire differential baseline)");
@@ -105,6 +173,11 @@ int main(int argc, char** argv) {
     if (args.get_flag("no-auto-migrate")) {
       opts.adaptive = placement::never_fire_adaptive();
     }
+    if (args.get_int("max-live-sessions") > 0) {
+      opts.admission = "bounded-live";
+      opts.budget.max_live_sessions = args.get_int("max-live-sessions");
+    }
+    opts.swap = args.get_flag("swap");
     const std::int64_t m = args.get_int("plan-words");
     const std::int64_t ticks = args.get_int("ticks");
     const std::int64_t rebalance_every = args.get_int("rebalance-every");
@@ -131,6 +204,30 @@ int main(int argc, char** argv) {
     }
 
     core::ClusterReport report;  // the one printed below
+    const std::int64_t churn = args.get_int("churn");
+    if (churn > 0) {
+      report = serve_churn(specs, opts, m, churn, args.get_int("churn-max-live"));
+      if (args.get_flag("json")) {
+        report.write_json(std::cout);
+      } else {
+        const auto& life = report.lifecycle;
+        std::cout << churn << " logical sessions over " << opts.workers
+                  << " workers (" << opts.placement << ", admission "
+                  << opts.admission << (opts.swap ? ", swap tier on" : "")
+                  << ")\n"
+                  << "opened " << life.sessions_opened << ", closed "
+                  << life.sessions_closed << ", peak live " << life.peak_live
+                  << " (peak resident " << life.peak_resident_words
+                  << " words), " << life.swap_outs << " swap-outs / "
+                  << life.swap_ins << " swap-ins\n"
+                  << "retired aggregate: " << report.retired.cache.misses
+                  << " misses / " << report.retired.cache.accesses
+                  << " accesses, " << report.retired.sink_firings
+                  << " outputs -- memory stays O(live) while the work of "
+                  << "every closed session survives in `retired`.\n";
+      }
+      return 0;
+    }
     if (mode == "virtual" || mode == "both") {
       report = serve(specs, opts, m, arrival, ticks, rebalance_every,
                      args.get_int("stagger"), false);

@@ -68,6 +68,14 @@ int main(int argc, char** argv) {
                "shared LLC as a multiple of the per-worker L1 (0 = no LLC)");
   args.add_int("cluster-llc-shards", 0,
                "LLC stripes (power of two; 0 = single-mutex flat LLC)");
+  args.add_int("cluster-churn", 0,
+               "churn mode: logical sessions per cluster cell (0 = steady "
+               "tick loop; > 0 replaces it with an open/push/close trace)");
+  args.add_int("cluster-churn-max-live", 8,
+               "concurrent-open bound of the churn trace");
+  args.add_int("cluster-max-live-sessions", 0,
+               "bounded-live admission budget for cluster cells (0 = unbounded)");
+  args.add_flag("cluster-swap", "enable the idle-session swap tier in cluster cells");
   args.add_flag("csv", "emit CSV");
   args.add_flag("json", "emit JSON");
   args.add_flag("list", "list registry keys and exit");
@@ -117,6 +125,13 @@ int main(int argc, char** argv) {
     spec.cluster.llc_factor = args.get_int("cluster-llc-factor");
     spec.cluster.llc_shards =
         static_cast<std::int32_t>(args.get_int("cluster-llc-shards"));
+    spec.cluster.churn_sessions = args.get_int("cluster-churn");
+    spec.cluster.churn_max_live = args.get_int("cluster-churn-max-live");
+    if (args.get_int("cluster-max-live-sessions") > 0) {
+      spec.cluster.admission = "bounded-live";
+      spec.cluster.max_live_sessions = args.get_int("cluster-max-live-sessions");
+    }
+    spec.cluster.swap = args.get_flag("cluster-swap");
 
     const core::Experiment experiment(spec);
     const auto result =

@@ -16,6 +16,10 @@ namespace ccs::core {
 
 namespace {
 
+// The engine reserves [2^40, ...) for external streams; tenant bands must
+// stay below it (mirrors kExternalInBase in runtime/engine.cc).
+constexpr std::int64_t kBandSpaceWords = std::int64_t{1} << 40;
+
 /// Shared "pure load balance" rule: least busy, then fewest tenants, then
 /// the session's current worker, then lowest id (every tie must break
 /// deterministically -- the cluster's repeat-run guarantee rides on it).
@@ -214,7 +218,29 @@ void ClusterReport::write_json(std::ostream& os) const {
      << ", \"rounds\": " << rounds << ", \"migrations\": " << migrations
      << ", \"auto_migrations\": " << auto_migrations
      << ", \"migration_noops\": " << migration_noops
-     << ", \"makespan\": " << makespan() << ", \"imbalance\": " << balance.str()
+     << ", \"retired_sessions\": " << retired_sessions
+     << ", \"makespan\": " << makespan() << ", \"imbalance\": " << balance.str();
+  // The whole lifecycle block on ONE line: swap-on vs swap-off
+  // differentials strip it with `grep -v '"lifecycle"'` and byte-compare
+  // the rest.
+  os << ",\n  \"lifecycle\": {\"sessions_opened\": " << lifecycle.sessions_opened
+     << ", \"sessions_closed\": " << lifecycle.sessions_closed
+     << ", \"live_sessions\": " << lifecycle.live_sessions
+     << ", \"swapped_sessions\": " << lifecycle.swapped_sessions
+     << ", \"peak_live\": " << lifecycle.peak_live
+     << ", \"resident_words\": " << lifecycle.resident_words
+     << ", \"peak_resident_words\": " << lifecycle.peak_resident_words
+     << ", \"swap_outs\": " << lifecycle.swap_outs
+     << ", \"swap_ins\": " << lifecycle.swap_ins
+     << ", \"admissions_rejected\": " << lifecycle.admissions_rejected
+     << ", \"admissions_queued\": " << lifecycle.admissions_queued
+     << ", \"swap_stored_bytes\": " << swap_stored_bytes
+     << ", \"swap_peak_stored_bytes\": " << swap_peak_stored_bytes << "}";
+  os << ",\n  \"retired\": {\"accesses\": " << retired.cache.accesses
+     << ", \"misses\": " << retired.cache.misses
+     << ", \"firings\": " << retired.firings
+     << ", \"source_firings\": " << retired.source_firings
+     << ", \"sink_firings\": " << retired.sink_firings << "}"
      << ",\n  \"aggregate\": {\"accesses\": " << aggregate.cache.accesses
      << ", \"hits\": " << aggregate.cache.hits
      << ", \"misses\": " << aggregate.cache.misses
@@ -237,8 +263,9 @@ void ClusterReport::write_json(std::ostream& os) const {
   os << "\n  ],\n  \"tenants\": [";
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     const ClusterTenantReport& t = tenants[i];
-    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << json_escape(t.name) << "\""
-       << ", \"worker\": " << t.worker << ", \"steps\": " << t.steps
+    os << (i == 0 ? "\n" : ",\n") << "    {\"id\": " << t.id << ", \"name\": \""
+       << json_escape(t.name) << "\", \"state\": \"" << session::to_string(t.state)
+       << "\", \"worker\": " << t.worker << ", \"steps\": " << t.steps
        << ", \"outputs\": " << t.outputs << ", \"migrations\": " << t.migrations
        << ", \"accesses\": " << t.totals.cache.accesses
        << ", \"misses\": " << t.totals.cache.misses
@@ -257,6 +284,12 @@ Cluster::Cluster(ClusterOptions options, const PlacementRegistry* registry)
   const PlacementRegistry& reg =
       registry != nullptr ? *registry : PlacementRegistry::global();
   policy_ = reg.find(options_.placement).build();
+  admission_ = session::AdmissionRegistry::global().build(options_.admission,
+                                                          options_.budget);
+  if (options_.band_words < options_.l1.block_words ||
+      options_.band_words % options_.l1.block_words != 0) {
+    throw Error("band_words must be a positive multiple of the cache block size");
+  }
   workers_.resize(static_cast<std::size_t>(pool_.size()));
   // The estimator classifies against the cache a session actually runs in.
   if (options_.adaptive.footprint.budget_words == 0) {
@@ -271,21 +304,68 @@ TenantId Cluster::admit(std::string name, const sdf::SdfGraph& g,
                         std::int64_t m) {
   CCS_EXPECTS(!name.empty(), "tenant name must be non-empty");
   CCS_EXPECTS(m >= 0, "tenant cache share must be non-negative");
-  for (const Tenant& t : tenants_) {
+  for (const auto& [tid, t] : tenants_) {
     if (t.name == name) throw Error("tenant '" + name + "' is already admitted");
   }
-  // Same banding scheme as core::Server: each session gets a disjoint
-  // 2^36-word slab below the engines' external-stream bands, so sessions
-  // contend for cache blocks on whatever worker (and shared LLC) they meet
-  // instead of silently aliasing. The band count bounds the fleet.
-  if (tenants_.size() >= 16) {
-    throw Error("cluster is full: at most 16 tenants per cluster");
-  }
-  options.engine.address_base =
-      static_cast<std::int64_t>(tenants_.size()) * (std::int64_t{1} << 36);
+  const std::int64_t effective_m = m > 0 ? m : options_.l1.capacity_words;
 
+  // Price the candidate before building anything (see Server::admit).
+  schedule::OnlineContext ctx;
+  ctx.m = effective_m;
+  const auto pricing_policy =
+      schedule::OnlineRegistry::global().build(options.policy, g, p, ctx);
+  const std::int64_t layout_words = runtime::layout_footprint_words(
+      g, pricing_policy->buffer_caps(), options_.l1.block_words,
+      options.engine.block_align_buffers);
+  if (layout_words > options_.band_words) {
+    throw Error("session layout (" + std::to_string(layout_words) +
+                " words) exceeds band_words (" + std::to_string(options_.band_words) +
+                "); raise ClusterOptions::band_words");
+  }
+
+  session::AdmissionRequest arequest;
+  arequest.layout_words = layout_words;
+  bool evicted_for_room = false;
+  while (!admission_->admits(current_load(), arequest)) {
+    const session::SwapManager::SessionKey victim =
+        options_.swap
+            ? swap_.victim_if([this](session::SwapManager::SessionKey k) {
+                return tenants_.at(static_cast<TenantId>(k)).idle;
+              })
+            : session::SwapManager::kNone;
+    if (victim == session::SwapManager::kNone) {
+      ++lifecycle_.admissions_rejected;
+      return kNoTenant;
+    }
+    const TenantId vid = static_cast<TenantId>(victim);
+    swap_out_tenant(vid, tenants_.at(vid));
+    evicted_for_room = true;
+  }
+  if (evicted_for_room) ++lifecycle_.admissions_queued;
+
+  // Same banding scheme as core::Server: each session gets a disjoint
+  // band_words-wide slab below the engines' external-stream bands, so
+  // sessions contend for cache blocks on whatever worker (and shared LLC)
+  // they meet instead of silently aliasing. Closed sessions' bands recycle.
+  std::int64_t band;
+  if (!free_bands_.empty()) {
+    band = *free_bands_.begin();
+    free_bands_.erase(free_bands_.begin());
+  } else {
+    if (next_band_ >= kBandSpaceWords / options_.band_words) {
+      throw Error("cluster address space exhausted: at most " +
+                  std::to_string(kBandSpaceWords / options_.band_words) +
+                  " co-open sessions at band_words=" +
+                  std::to_string(options_.band_words) +
+                  " (close sessions or shrink band_words)");
+    }
+    band = next_band_++;
+  }
+  options.engine.address_base = band * options_.band_words;
+
+  const TenantId id = next_id_;
   PlacementRequest request;
-  request.tenant = static_cast<TenantId>(tenants_.size());
+  request.tenant = id;
   request.current = kNoWorker;
   for (sdf::NodeId v = 0; v < g.node_count(); ++v) request.state_words += g.node(v).state;
   request.resident_blocks.assign(static_cast<std::size_t>(pool_.size()), 0);
@@ -294,15 +374,25 @@ TenantId Cluster::admit(std::string name, const sdf::SdfGraph& g,
   Tenant t;
   t.name = std::move(name);
   t.worker = home;
-  t.stream = std::make_unique<Stream>(g, p, pool_.worker_cache(home),
-                                      m > 0 ? m : options_.l1.capacity_words,
+  t.band = band;
+  t.layout_words = layout_words;
+  t.graph = g;
+  t.partition = p;
+  t.stream_options = options;
+  t.m = effective_m;
+  t.stream = std::make_unique<Stream>(g, p, pool_.worker_cache(home), effective_m,
                                       std::move(options));
-  tenants_.push_back(std::move(t));
-  const TenantId id = static_cast<TenantId>(tenants_.size() - 1);
+  const auto [it, inserted] = tenants_.emplace(id, std::move(t));
+  CCS_CHECK(inserted, "tenant id reused");
+  ++next_id_;
   workers_[static_cast<std::size_t>(home)].tenants.push_back(id);
+  ++lifecycle_.sessions_opened;
+  lifecycle_.on_resident(layout_words);
+  swap_.admit(id);
   // Seed the footprint estimate from the gain-analysis layout (state plus
-  // channel rings) -- the paper's working-set bound made concrete.
-  const runtime::FootprintSample seed = tenants_.back().stream->footprint_sample();
+  // channel rings) -- the paper's working-set bound made concrete. The
+  // estimator is indexed by tenant id (monotonic, one add per admission).
+  const runtime::FootprintSample seed = it->second.stream->footprint_sample();
   estimator_.add_session(seed.layout_words, seed.state_words);
   return id;
 }
@@ -312,28 +402,157 @@ TenantId Cluster::admit(std::string name, const Planner& planner, const Plan& pl
   return admit(std::move(name), planner.graph(), plan.partition, std::move(options));
 }
 
+void Cluster::throw_unknown_tenant(TenantId id) const {
+  std::string msg = "unknown tenant id " + std::to_string(id) + "; live tenants:";
+  if (tenants_.empty()) {
+    msg += " (none)";
+  } else {
+    bool first = true;
+    for (const auto& [tid, t] : tenants_) {
+      msg += (first ? " " : ", ");
+      msg += std::to_string(tid) + " '" + t.name + "'";
+      first = false;
+    }
+  }
+  throw Error(msg);
+}
+
 Cluster::Tenant& Cluster::tenant(TenantId id) {
-  CCS_EXPECTS(id >= 0 && id < tenant_count(), "tenant id out of range");
-  return tenants_[static_cast<std::size_t>(id)];
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) throw_unknown_tenant(id);
+  return it->second;
 }
 
 const Cluster::Tenant& Cluster::tenant(TenantId id) const {
-  CCS_EXPECTS(id >= 0 && id < tenant_count(), "tenant id out of range");
-  return tenants_[static_cast<std::size_t>(id)];
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) throw_unknown_tenant(id);
+  return it->second;
 }
 
-Stream& Cluster::stream(TenantId id) { return *tenant(id).stream; }
+session::AdmissionLoad Cluster::current_load() const {
+  session::AdmissionLoad load;
+  load.live_sessions = lifecycle_.live_sessions;
+  load.resident_words = lifecycle_.resident_words;
+  return load;
+}
 
-const Stream& Cluster::stream(TenantId id) const { return *tenant(id).stream; }
+void Cluster::swap_out_tenant(TenantId id, Tenant& t) {
+  CCS_EXPECTS(t.stream != nullptr, "tenant is already swapped out");
+  const StreamState state = t.stream->save_state();
+  t.totals = state.totals;
+  t.steps = state.steps;
+  t.outputs = t.stream->outputs_produced();
+  session::SessionSnapshot snapshot;
+  snapshot.engine = state.engine;
+  snapshot.totals = state.totals;
+  snapshot.steps = state.steps;
+  swap_.swap_out(id, session::SwapImage::pack(snapshot));
+  t.stream.reset();
+  t.idle = true;  // swapped sessions are idle by construction
+  lifecycle_.on_nonresident(t.layout_words);
+  ++lifecycle_.swapped_sessions;
+  ++lifecycle_.swap_outs;
+}
+
+void Cluster::rehydrate(TenantId id, Tenant& t) {
+  CCS_EXPECTS(t.stream == nullptr, "tenant is not swapped out");
+  const session::SessionSnapshot snapshot = swap_.swap_in(id).unpack();
+  // Back onto the worker that last served it -- placement is pinned across
+  // a swap, so swap-on and swap-off runs make identical decisions.
+  StreamOptions options = t.stream_options;
+  t.stream = std::make_unique<Stream>(t.graph, t.partition,
+                                      pool_.worker_cache(t.worker), t.m,
+                                      std::move(options));
+  StreamState state;
+  state.engine = snapshot.engine;
+  state.totals = snapshot.totals;
+  state.steps = snapshot.steps;
+  t.stream->restore_state(state);
+  lifecycle_.on_resident(t.layout_words);
+  --lifecycle_.swapped_sessions;
+  ++lifecycle_.swap_ins;
+}
+
+Stream& Cluster::stream(TenantId id) {
+  Tenant& t = tenant(id);
+  if (t.stream == nullptr) rehydrate(id, t);
+  return *t.stream;
+}
+
+const Stream& Cluster::stream(TenantId id) const {
+  const Tenant& t = tenant(id);
+  if (t.stream == nullptr) {
+    throw Error("tenant " + std::to_string(id) +
+                " is swapped out; use the non-const accessor to rehydrate");
+  }
+  return *t.stream;
+}
 
 const std::string& Cluster::tenant_name(TenantId id) const { return tenant(id).name; }
 
 WorkerId Cluster::worker_of(TenantId id) const { return tenant(id).worker; }
 
+session::SessionState Cluster::state_of(TenantId id) const {
+  const Tenant& t = tenant(id);
+  if (t.stream == nullptr) return session::SessionState::kSwapped;
+  return t.idle ? session::SessionState::kIdle : session::SessionState::kLive;
+}
+
+bool Cluster::swapped(TenantId id) const { return tenant(id).stream == nullptr; }
+
+void Cluster::swap_out(TenantId id) {
+  CCS_EXPECTS(options_.swap, "swap_out requires ClusterOptions::swap");
+  Tenant& t = tenant(id);
+  if (t.stream == nullptr) {
+    throw Error("tenant " + std::to_string(id) + " is already swapped out");
+  }
+  if (!t.idle) {
+    throw Error("tenant " + std::to_string(id) +
+                " is not idle; only idle sessions can be swapped out");
+  }
+  swap_out_tenant(id, t);
+}
+
+std::int64_t Cluster::swap_out_idle() {
+  CCS_EXPECTS(options_.swap, "swap_out_idle requires ClusterOptions::swap");
+  std::int64_t evicted = 0;
+  for (auto& [id, t] : tenants_) {
+    if (t.stream != nullptr && t.idle) {
+      swap_out_tenant(id, t);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+void Cluster::close(TenantId id) {
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) throw_unknown_tenant(id);
+  Tenant& t = it->second;
+  if (t.stream != nullptr) {
+    retired_ += t.stream->stats();
+    lifecycle_.on_nonresident(t.layout_words);
+  } else {
+    retired_ += t.totals;
+    --lifecycle_.swapped_sessions;
+  }
+  Worker& home = workers_[static_cast<std::size_t>(t.worker)];
+  home.tenants.erase(std::find(home.tenants.begin(), home.tenants.end(), id));
+  home.cursor = 0;  // keep the rotation point deterministic after the edit
+  swap_.erase(id);
+  free_bands_.insert(t.band);
+  tenants_.erase(it);
+  ++lifecycle_.sessions_closed;
+}
+
 std::int64_t Cluster::push(TenantId id, std::int64_t items) {
   Tenant& t = tenant(id);
+  if (t.stream == nullptr) rehydrate(id, t);
   const std::int64_t accepted = t.stream->push(items);
-  if (accepted > 0) t.idle = false;  // new arrivals may unblock the session
+  if (accepted > 0) {
+    t.idle = false;  // new arrivals may unblock the session
+    swap_.touch(id);
+  }
   return accepted;
 }
 
@@ -342,8 +561,8 @@ bool Cluster::worker_step(WorkerId w) {
   const std::size_t n = worker.tenants.size();
   for (std::size_t probe = 0; probe < n; ++probe) {
     const std::size_t slot = (worker.cursor + probe) % n;
-    Tenant& t = tenants_[static_cast<std::size_t>(worker.tenants[slot])];
-    if (t.idle) continue;
+    Tenant& t = tenants_.at(worker.tenants[slot]);
+    if (t.idle) continue;  // swapped tenants are idle, so never stepped
     const StepResult r = t.stream->step();
     if (!r.progressed()) {
       t.idle = true;  // stays blocked until the controlling thread pushes
@@ -409,7 +628,8 @@ std::vector<ClusterWorkerStatus> Cluster::worker_statuses() const {
     s.l1_words = options_.l1.capacity_words;
     if (adaptive_active()) {
       for (const TenantId id : worker.tenants) {
-        if (id < estimator_.session_count() && estimator_.hot(id)) {
+        if (id < estimator_.session_count() && estimator_.hot(id) &&
+            tenants_.at(id).stream != nullptr) {
           s.hot_words += estimator_.footprint_words(id);
         }
       }
@@ -447,7 +667,14 @@ WorkerId Cluster::checked_placement(const PlacementRequest& request) {
 
 std::int64_t Cluster::rebalance() {
   std::int64_t moved = 0;
-  for (TenantId id = 0; id < tenant_count(); ++id) {
+  // Swapped tenants stay pinned: they have no cache state to be affine to,
+  // and no live footprint to shed; they re-enter placement churn only after
+  // rehydration.
+  std::vector<TenantId> resident;
+  for (const auto& [id, t] : tenants_) {
+    if (t.stream != nullptr) resident.push_back(id);
+  }
+  for (const TenantId id : resident) {
     const WorkerId target = checked_placement(request_for(id));
     if (target != tenant(id).worker) {
       migrate(id, target);
@@ -468,8 +695,8 @@ std::int64_t Cluster::adapt() {
 }
 
 void Cluster::observe_footprints() {
-  for (TenantId id = 0; id < tenant_count(); ++id) {
-    const Tenant& t = tenants_[static_cast<std::size_t>(id)];
+  for (const auto& [id, t] : tenants_) {
+    if (t.stream == nullptr) continue;  // swapped: no live traffic to window
     const runtime::FootprintSample sample = t.stream->footprint_sample();
     placement::FootprintObservation o;
     o.accesses = sample.accesses;
@@ -486,10 +713,9 @@ bool Cluster::migration_trigger_fired() {
   // allowance of the private cache.
   const std::int64_t allowance = options_.l1.capacity_words * a.oversub_permille / 1000;
   std::vector<std::int64_t> hot_words(workers_.size(), 0);
-  for (TenantId id = 0; id < tenant_count(); ++id) {
-    if (estimator_.hot(id)) {
-      const WorkerId w = tenants_[static_cast<std::size_t>(id)].worker;
-      hot_words[static_cast<std::size_t>(w)] += estimator_.footprint_words(id);
+  for (const auto& [id, t] : tenants_) {
+    if (t.stream != nullptr && estimator_.hot(id)) {
+      hot_words[static_cast<std::size_t>(t.worker)] += estimator_.footprint_words(id);
     }
   }
   for (const std::int64_t pressure : hot_words) {
@@ -515,20 +741,11 @@ bool Cluster::migration_trigger_fired() {
 }
 
 void Cluster::migrate(TenantId id, WorkerId target) {
-  if (id < 0 || id >= tenant_count()) {
-    std::string msg = "unknown tenant id " + std::to_string(id) + "; live tenants:";
-    if (tenants_.empty()) {
-      msg += " (none)";
-    } else {
-      for (TenantId t = 0; t < tenant_count(); ++t) {
-        msg += (t == 0 ? " " : ", ");
-        msg += std::to_string(t) + " '" + tenants_[static_cast<std::size_t>(t)].name + "'";
-      }
-    }
-    throw Error(msg);
-  }
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) throw_unknown_tenant(id);
   CCS_EXPECTS(target >= 0 && target < worker_count(), "worker id out of range");
-  Tenant& t = tenants_[static_cast<std::size_t>(id)];
+  Tenant& t = it->second;
+  if (t.stream == nullptr) rehydrate(id, t);  // a move touches live state
   if (t.worker == target) {
     // Counted no-op: nothing reloads, nothing moves, but drivers retrying
     // placement decisions can see how often they asked for one.
@@ -547,8 +764,8 @@ void Cluster::migrate(TenantId id, WorkerId target) {
 }
 
 void Cluster::drain_all() {
-  for (TenantId id = 0; id < tenant_count(); ++id) {
-    Tenant& t = tenants_[static_cast<std::size_t>(id)];
+  for (auto& [id, t] : tenants_) {
+    if (t.stream == nullptr) rehydrate(id, t);
     const runtime::RunResult r = t.stream->drain();
     // Drain firings execute on the tenant's worker cache; account them
     // there so makespan covers the tail work too.
@@ -565,12 +782,27 @@ ClusterReport Cluster::report() const {
   report.migrations = migrations_;
   report.auto_migrations = auto_migrations_;
   report.migration_noops = migration_noops_;
-  for (const Tenant& t : tenants_) {
+  report.retired = retired_;
+  report.retired_sessions = lifecycle_.sessions_closed;
+  report.lifecycle = lifecycle_;
+  report.swap_stored_bytes = swap_.stored_bytes();
+  report.swap_peak_stored_bytes = swap_.peak_stored_bytes();
+  report.aggregate = retired_;
+  for (const auto& [id, t] : tenants_) {
     ClusterTenantReport row;
+    row.id = id;
     row.name = t.name;
-    row.totals = t.stream->stats();
-    row.steps = t.stream->steps();
-    row.outputs = t.stream->outputs_produced();
+    if (t.stream != nullptr) {
+      row.state = t.idle ? session::SessionState::kIdle : session::SessionState::kLive;
+      row.totals = t.stream->stats();
+      row.steps = t.stream->steps();
+      row.outputs = t.stream->outputs_produced();
+    } else {
+      row.state = session::SessionState::kSwapped;
+      row.totals = t.totals;
+      row.steps = t.steps;
+      row.outputs = t.outputs;
+    }
     row.worker = t.worker;
     row.migrations = t.migrations;
     report.aggregate += row.totals;

@@ -45,9 +45,18 @@
 // Determinism contract: admissions, pushes, rebalance(), and drain_all()
 // happen on the controlling thread while the cluster is quiescent; tenant
 // sessions never communicate, and each is pinned to exactly one worker
-// between rebalance points. Every tenant engine gets a disjoint 2^36-word
-// address band, so sessions contend for cache blocks instead of aliasing,
-// on whichever worker they land.
+// between rebalance points. Every tenant engine gets a disjoint address
+// band (ClusterOptions::band_words, default 2^36), so sessions contend for
+// cache blocks instead of aliasing, on whichever worker they land.
+//
+// Session lifecycle mirrors core::Server: admit() consults a
+// session::AdmissionPolicy, close() retires a session forever (folding its
+// totals into the report's `retired` aggregate and recycling its band), and
+// with the swap tier enabled idle sessions serialize to compact
+// session::SwapImages and rehydrate transparently on the next push --
+// always back onto the worker that last served them, so placement
+// decisions, per-tenant counters, and report JSON are bit-identical
+// between swap-on and swap-off runs.
 //
 //   core::ClusterOptions copts;
 //   copts.workers = 4;
@@ -66,7 +75,9 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -176,10 +187,25 @@ struct ClusterOptions {
   /// Automatic-migration triggers for adaptive placement keys; ignored by
   /// static policies. footprint.budget_words defaults to the L1 capacity.
   placement::AdaptiveOptions adaptive;
+
+  /// session::AdmissionRegistry key governing admit() ("unbounded" keeps
+  /// the pre-lifecycle behaviour), plus the budget it enforces.
+  std::string admission = "unbounded";
+  session::AdmissionBudget budget;
+
+  /// Enable the idle-session swap tier (see core::Server::swap).
+  bool swap = false;
+
+  /// Simulated address-space words reserved per open session; must be a
+  /// multiple of the L1 block size. 2^40 / band_words bands exist -- 16 at
+  /// the default 2^36, ~1M at 2^20.
+  std::int64_t band_words = std::int64_t{1} << 36;
 };
 
 /// One tenant's slice of a ClusterReport.
 struct ClusterTenantReport {
+  TenantId id = kNoTenant;
+  session::SessionState state = session::SessionState::kLive;
   std::string name;
   runtime::RunResult totals;      ///< Whole-session counters (private-L1 level).
   std::int64_t steps = 0;         ///< Component executions granted.
@@ -198,9 +224,14 @@ struct ClusterWorkerReport {
 
 /// Per-tenant, per-worker, and aggregate accounting of a cluster run.
 struct ClusterReport {
-  std::vector<ClusterTenantReport> tenants;  ///< Admission order.
+  std::vector<ClusterTenantReport> tenants;  ///< Open sessions, in id order.
   std::vector<ClusterWorkerReport> workers;  ///< Worker-id order.
-  runtime::RunResult aggregate;              ///< Sum over tenants.
+  runtime::RunResult aggregate;              ///< Sum over open tenants + retired.
+  runtime::RunResult retired;                ///< Folded totals of closed sessions.
+  std::int64_t retired_sessions = 0;         ///< Sessions closed so far.
+  session::LifecycleCounters lifecycle;      ///< Residency + admission accounting.
+  std::int64_t swap_stored_bytes = 0;        ///< Swap-tier footprint right now.
+  std::int64_t swap_peak_stored_bytes = 0;
   iomodel::CacheStats llc;                   ///< Shared-LLC counters (zero when absent).
   std::int32_t llc_shards = 0;               ///< LLC stripes (0 = single-mutex backend).
   std::string placement;                     ///< Policy key the cluster ran.
@@ -239,9 +270,18 @@ class Cluster {
   /// Admits a new session and places it via the placement policy. `m` is
   /// the cache size the session's Theta(M) buffers amortize against; 0 (the
   /// default) uses the private-L1 capacity -- a session plans for the
-  /// worker cache it will actually run on.
+  /// worker cache it will actually run on. Returns kNoTenant when the
+  /// admission policy refuses and no idle victim can be swapped out to make
+  /// room; throws ccs::Error when the open-session count exhausts the
+  /// address bands or the session's layout exceeds one band.
   TenantId admit(std::string name, const sdf::SdfGraph& g, const partition::Partition& p,
                  StreamOptions options = {}, std::int64_t m = 0);
+
+  /// Retires session `id` forever (see Server::close): totals fold into
+  /// the report's `retired` aggregate, the band returns to the free list,
+  /// and the id is rejected from then on. Throws ccs::Error naming the live
+  /// tenants for an unknown or already-closed id.
+  void close(TenantId id);
 
   /// Convenience: admit a Planner plan (graph and partition from the plan's
   /// session).
@@ -254,10 +294,29 @@ class Cluster {
   std::int32_t worker_count() const noexcept { return pool_.size(); }
 
   /// The tenant's session (for pushes, polls, or direct stepping).
+  /// Rehydrates a swapped session first; the const overload throws instead
+  /// (a const cluster cannot rebuild the stream).
   Stream& stream(TenantId id);
   const Stream& stream(TenantId id) const;
 
   const std::string& tenant_name(TenantId id) const;
+
+  /// Lifecycle state of an open session (kLive / kIdle / kSwapped).
+  session::SessionState state_of(TenantId id) const;
+
+  /// True iff the session is currently in the swap tier.
+  bool swapped(TenantId id) const;
+
+  /// Evicts one resident idle session (requires ClusterOptions::swap);
+  /// throws for a non-idle, already-swapped, or unknown tenant.
+  void swap_out(TenantId id);
+
+  /// Evicts every resident idle session (requires ClusterOptions::swap);
+  /// returns how many were evicted.
+  std::int64_t swap_out_idle();
+
+  /// Residency + admission counters (live view of the report's lifecycle).
+  const session::LifecycleCounters& lifecycle() const noexcept { return lifecycle_; }
 
   /// Worker currently serving tenant `id`.
   WorkerId worker_of(TenantId id) const;
@@ -318,10 +377,23 @@ class Cluster {
  private:
   struct Tenant {
     std::string name;
-    std::unique_ptr<Stream> stream;
+    std::unique_ptr<Stream> stream;  ///< Null while swapped out.
     WorkerId worker = kNoWorker;
     bool idle = false;  ///< Known-blocked until new arrivals.
     std::int64_t migrations = 0;
+    std::int64_t band = 0;          ///< Address-band index.
+    std::int64_t layout_words = 0;  ///< Resident footprint (state + rings).
+
+    // Rebuild inputs for rehydration (see Server::Tenant).
+    sdf::SdfGraph graph;
+    partition::Partition partition;
+    StreamOptions stream_options;  ///< With engine.address_base baked in.
+    std::int64_t m = 0;
+
+    // Report summary cached at swap-out so report() never rehydrates.
+    runtime::RunResult totals;
+    std::int64_t steps = 0;
+    std::int64_t outputs = 0;
   };
 
   /// Per-worker scheduling state. In thread mode each worker's struct is
@@ -340,6 +412,16 @@ class Cluster {
 
   Tenant& tenant(TenantId id);
   const Tenant& tenant(TenantId id) const;
+  [[noreturn]] void throw_unknown_tenant(TenantId id) const;
+
+  /// Serializes a resident tenant into the swap tier and frees its Stream.
+  void swap_out_tenant(TenantId id, Tenant& t);
+
+  /// Rebuilds a swapped tenant's Stream (on its pinned worker's cache).
+  void rehydrate(TenantId id, Tenant& t);
+
+  session::AdmissionLoad current_load() const;
+
   PlacementRequest request_for(TenantId id) const;
   std::vector<ClusterWorkerStatus> worker_statuses() const;
   WorkerId checked_placement(const PlacementRequest& request);
@@ -360,7 +442,14 @@ class Cluster {
   ClusterOptions options_;
   runtime::WorkerPool pool_;
   std::unique_ptr<PlacementPolicy> policy_;
-  std::vector<Tenant> tenants_;
+  std::unique_ptr<session::AdmissionPolicy> admission_;
+  std::map<TenantId, Tenant> tenants_;  ///< Open sessions only, O(live+swapped).
+  TenantId next_id_ = 0;                ///< Ids are never reused.
+  std::set<std::int64_t> free_bands_;   ///< Bands returned by close().
+  std::int64_t next_band_ = 0;
+  session::SwapManager swap_;
+  session::LifecycleCounters lifecycle_;
+  runtime::RunResult retired_;          ///< Folded totals of closed sessions.
   std::vector<Worker> workers_;
   placement::FootprintEstimator estimator_;
   std::vector<iomodel::CacheStats> l1_window_base_;  ///< Per-worker thrash windows.

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "core/cluster.h"
@@ -354,10 +355,64 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
     cluster_opts.llc_shards = spec_.cluster.llc_shards;
     cluster_opts.placement = at.placement;
     cluster_opts.adaptive = spec_.cluster.adaptive;
+    cluster_opts.admission = spec_.cluster.admission;
+    cluster_opts.budget.max_live_sessions = spec_.cluster.max_live_sessions;
+    cluster_opts.swap = spec_.cluster.swap;
+    cluster_opts.band_words = spec_.cluster.band_words;
     Cluster cluster(cluster_opts);
     StreamOptions stream_opts;
     stream_opts.policy = at.strategy;
     stream_opts.engine = spec_.engine;
+
+    if (spec_.cluster.churn_sessions > 0) {
+      // Churn mode: the lifecycle trace decides who opens, pushes, and
+      // closes; sessions idle between their own bursts (swap-tier fodder).
+      workloads::ChurnOptions churn;
+      churn.sessions = spec_.cluster.churn_sessions;
+      churn.max_concurrent = spec_.cluster.churn_max_live;
+      churn.pushes_per_session = spec_.cluster.churn_pushes;
+      churn.items_per_push = spec_.cluster.churn_items;
+      churn.seed = spec_.seed;
+      std::unordered_map<std::int64_t, TenantId> live_ids;
+      for (const workloads::SessionEvent& e : workloads::churn_trace(churn)) {
+        switch (e.kind) {
+          case workloads::SessionEvent::Kind::kOpen: {
+            const TenantId id =
+                cluster.admit("sess-" + std::to_string(e.session), graph,
+                              plan.partition, stream_opts, at.cache.capacity_words);
+            if (id == kNoTenant) {
+              throw Error("churn admission rejected session " +
+                          std::to_string(e.session) +
+                          " (budget too tight for the trace's concurrency)");
+            }
+            live_ids.emplace(e.session, id);
+            if (e.session == 0) {
+              buffer_words = 0;
+              for (const std::int64_t cap :
+                   cluster.stream(id).policy().buffer_caps()) {
+                buffer_words += cap;
+              }
+            }
+            break;
+          }
+          case workloads::SessionEvent::Kind::kPush:
+            cluster.push(live_ids.at(e.session), e.items);
+            cluster.run_until_idle();
+            // With the swap tier on, every quiescent point sheds all idle
+            // sessions -- the aggressive-eviction regime, so churn cells
+            // actually round-trip sessions instead of merely allowing it.
+            if (cluster_opts.swap) cluster.swap_out_idle();
+            break;
+          case workloads::SessionEvent::Kind::kClose:
+            cluster.close(live_ids.at(e.session));
+            live_ids.erase(e.session);
+            break;
+        }
+      }
+      cluster.drain_all();
+      return cluster.report();
+    }
+
     for (std::int32_t t = 0; t < at.tenants; ++t) {
       cluster.admit("tenant-" + std::to_string(t), graph, plan.partition, stream_opts,
                     at.cache.capacity_words);
@@ -387,6 +442,8 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
                      again.llc == report.llc &&
                      again.migrations == report.migrations &&
                      again.auto_migrations == report.auto_migrations &&
+                     again.retired == report.retired &&
+                     again.lifecycle == report.lifecycle &&
                      again.tenants.size() == report.tenants.size();
     for (std::size_t i = 0; identical && i < report.tenants.size(); ++i) {
       identical = again.tenants[i].totals == report.tenants[i].totals &&
@@ -403,6 +460,7 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
   cell.cluster_makespan = report.makespan();
   cell.cluster_migrations = report.migrations;
   cell.cluster_auto_migrations = report.auto_migrations;
+  cell.cluster_peak_live = report.lifecycle.peak_live;
   cell.buffer_words = buffer_words;
 }
 
@@ -426,6 +484,15 @@ ExperimentResult Experiment::run(std::int32_t threads) const {
     }
     if (spec_.cluster.llc_shards < 0) {
       throw Error("cluster sweep needs llc_shards >= 0");
+    }
+    if (spec_.cluster.churn_sessions < 0) {
+      throw Error("cluster sweep needs churn_sessions >= 0");
+    }
+    if (spec_.cluster.churn_sessions > 0 &&
+        (spec_.cluster.churn_max_live < 1 || spec_.cluster.churn_pushes < 1 ||
+         spec_.cluster.churn_items < 1)) {
+      throw Error("churn sweep needs churn_max_live, churn_pushes, and "
+                  "churn_items all >= 1");
     }
   }
 
@@ -474,7 +541,7 @@ void ExperimentResult::write_csv(std::ostream& os) const {
         "buffer_words,accesses,misses,writebacks,firings,source_firings,sink_firings,"
         "state_misses,channel_misses,io_misses,misses_per_input,misses_per_output,"
         "server_steps,cluster_makespan,cluster_migrations,cluster_auto_migrations,"
-        "error\n";
+        "cluster_peak_live,error\n";
   for (const CellResult& c : cells) {
     os << csv_escape(c.workload) << ',' << c.cache.capacity_words << ','
        << c.cache.block_words << ',' << csv_escape(c.strategy) << ','
@@ -493,7 +560,8 @@ void ExperimentResult::write_csv(std::ostream& os) const {
        << ',' << c.run.channel_misses << ',' << c.run.io_misses << ','
        << fmt_double(c.misses_per_input) << ',' << fmt_double(c.misses_per_output) << ','
        << c.server_steps << ',' << c.cluster_makespan << ',' << c.cluster_migrations
-       << ',' << c.cluster_auto_migrations << ',' << csv_escape(c.error) << '\n';
+       << ',' << c.cluster_auto_migrations << ',' << c.cluster_peak_live << ','
+       << csv_escape(c.error) << '\n';
   }
 }
 
@@ -522,7 +590,8 @@ void ExperimentResult::write_json(std::ostream& os) const {
          << json_escape(c.placement) << "\""
          << ", \"cluster_makespan\": " << c.cluster_makespan
          << ", \"cluster_migrations\": " << c.cluster_migrations
-         << ", \"cluster_auto_migrations\": " << c.cluster_auto_migrations;
+         << ", \"cluster_auto_migrations\": " << c.cluster_auto_migrations
+         << ", \"cluster_peak_live\": " << c.cluster_peak_live;
     }
     os << ", \"t_multiplier\": " << c.t_multiplier
        << ", \"ok\": " << (c.ok ? "true" : "false");

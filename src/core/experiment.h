@@ -80,6 +80,24 @@ struct ClusterSweep {
   /// static keys), so a sweep can put adaptive-with-migration-disabled next
   /// to "affinity" in the same grid and diff the rows.
   placement::AdaptiveOptions adaptive;
+
+  /// Churn lifecycle axis: 0 (the default) keeps the steady tick loop
+  /// above. > 0 replaces it -- every cluster cell drives a
+  /// workloads::churn_trace of that many logical sessions (open / bursty
+  /// push / close, at most churn_max_live open at once), exercising
+  /// admission control and -- with `swap` -- the idle-session swap tier.
+  /// `tenant_counts` is ignored for churn cells (the trace decides).
+  std::int64_t churn_sessions = 0;
+  std::int64_t churn_max_live = 8;    ///< Concurrent-open bound of the trace.
+  std::int64_t churn_pushes = 4;      ///< Bursts per session.
+  std::int64_t churn_items = 64;      ///< Arrivals per burst.
+
+  /// Lifecycle knobs forwarded to every cluster cell's ClusterOptions
+  /// (meaningful with or without churn).
+  std::string admission = "unbounded";  ///< session::AdmissionRegistry key.
+  std::int64_t max_live_sessions = 0;   ///< Budget for "bounded-live"; 0 = no limit.
+  bool swap = false;                    ///< Enable the idle-session swap tier.
+  std::int64_t band_words = std::int64_t{1} << 36;  ///< Per-session address band.
 };
 
 /// The sweep grid, by registry keys. Cells are enumerated workload-major:
@@ -154,6 +172,8 @@ struct CellResult {
   std::int64_t cluster_makespan = 0;    ///< Max worker busy time (cluster cells).
   std::int64_t cluster_migrations = 0;  ///< Sessions moved (cluster cells).
   std::int64_t cluster_auto_migrations = 0;  ///< Moves adaptive placement triggered.
+  std::int64_t cluster_peak_live = 0;   ///< Peak resident sessions (cluster cells)
+                                        ///< -- the O(live) claim, machine-checkable.
 };
 
 /// Structured sweep output.

@@ -1,14 +1,20 @@
 #include "core/server.h"
 
 #include <algorithm>
+#include <ostream>
 #include <utility>
 
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/format.h"
 
 namespace ccs::core {
 
 namespace {
+
+// The engine reserves [2^40, ...) for external streams; tenant bands must
+// stay below it (mirrors kExternalInBase in runtime/engine.cc).
+constexpr std::int64_t kBandSpaceWords = std::int64_t{1} << 40;
 
 /// Fair timesharing: rotate through runnable tenants in id order, resuming
 /// after the last pick.
@@ -47,6 +53,16 @@ class MissAwarePolicy final : public TenantPolicy {
   }
 };
 
+void write_run_result_json(std::ostream& os, const runtime::RunResult& r) {
+  os << "{\"accesses\": " << r.cache.accesses << ", \"hits\": " << r.cache.hits
+     << ", \"misses\": " << r.cache.misses << ", \"writebacks\": " << r.cache.writebacks
+     << ", \"firings\": " << r.firings << ", \"source_firings\": " << r.source_firings
+     << ", \"sink_firings\": " << r.sink_firings
+     << ", \"state_misses\": " << r.state_misses
+     << ", \"channel_misses\": " << r.channel_misses
+     << ", \"io_misses\": " << r.io_misses << "}";
+}
+
 }  // namespace
 
 TenantRegistry& TenantRegistry::global() {
@@ -64,13 +80,64 @@ void register_builtin_tenant_policies(TenantRegistry& r) {
                        "per firing"});
 }
 
+void ServerReport::write_json(std::ostream& os) const {
+  os << "{\n  \"steps\": " << steps << ", \"retired_sessions\": " << retired_sessions
+     << ",\n  \"aggregate\": ";
+  write_run_result_json(os, aggregate);
+  os << ",\n  \"retired\": ";
+  write_run_result_json(os, retired);
+  os << ",\n  \"shared_cache\": {\"accesses\": " << shared_cache.accesses
+     << ", \"hits\": " << shared_cache.hits << ", \"misses\": " << shared_cache.misses
+     << ", \"writebacks\": " << shared_cache.writebacks << "}";
+  // The whole lifecycle block on ONE line: swap-on vs swap-off
+  // differentials strip it with `grep -v '"lifecycle"'` and byte-compare
+  // the rest.
+  os << ",\n  \"lifecycle\": {\"sessions_opened\": " << lifecycle.sessions_opened
+     << ", \"sessions_closed\": " << lifecycle.sessions_closed
+     << ", \"live_sessions\": " << lifecycle.live_sessions
+     << ", \"swapped_sessions\": " << lifecycle.swapped_sessions
+     << ", \"peak_live\": " << lifecycle.peak_live
+     << ", \"resident_words\": " << lifecycle.resident_words
+     << ", \"peak_resident_words\": " << lifecycle.peak_resident_words
+     << ", \"swap_outs\": " << lifecycle.swap_outs
+     << ", \"swap_ins\": " << lifecycle.swap_ins
+     << ", \"admissions_rejected\": " << lifecycle.admissions_rejected
+     << ", \"admissions_queued\": " << lifecycle.admissions_queued
+     << ", \"swap_stored_bytes\": " << swap_stored_bytes
+     << ", \"swap_peak_stored_bytes\": " << swap_peak_stored_bytes << "}";
+  os << ",\n  \"tenants\": [";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantReport& t = tenants[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"id\": " << t.id << ", \"name\": \""
+       << json_escape(t.name) << "\", \"state\": \"" << session::to_string(t.state)
+       << "\", \"steps\": " << t.steps << ", \"outputs\": " << t.outputs
+       << ", \"totals\": ";
+    write_run_result_json(os, t.totals);
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
 Server::Server(ServerOptions options, const TenantRegistry* registry)
     : options_(std::move(options)) {
   validate_cache_geometry(options_.cache);
   const TenantRegistry& reg = registry != nullptr ? *registry : TenantRegistry::global();
   policy_ = reg.find(options_.tenant_policy).build();
+  admission_ = session::AdmissionRegistry::global().build(options_.admission,
+                                                          options_.budget);
+  if (options_.band_words < options_.cache.block_words ||
+      options_.band_words % options_.cache.block_words != 0) {
+    throw Error("band_words must be a positive multiple of the cache block size");
+  }
   cache_ = std::make_unique<iomodel::LruCache>(options_.cache);
   baseline_ = cache_->stats();
+}
+
+session::AdmissionLoad Server::current_load() const {
+  session::AdmissionLoad load;
+  load.live_sessions = lifecycle_.live_sessions;
+  load.resident_words = lifecycle_.resident_words;
+  return load;
 }
 
 TenantId Server::admit(std::string name, const sdf::SdfGraph& g,
@@ -78,23 +145,85 @@ TenantId Server::admit(std::string name, const sdf::SdfGraph& g,
                        std::int64_t m) {
   CCS_EXPECTS(!name.empty(), "tenant name must be non-empty");
   CCS_EXPECTS(m >= 0, "tenant cache share must be non-negative");
-  for (const Tenant& t : tenants_) {
+  for (const auto& [id, t] : tenants_) {
     if (t.name == name) throw Error("tenant '" + name + "' is already admitted");
   }
-  // Each tenant gets its own 2^36-word band of the simulated address space:
-  // co-resident programs must *contend* for cache blocks, not alias them.
-  // The bands below the engine's external-stream regions bound the fleet.
-  if (tenants_.size() >= 16) {
-    throw Error("server is full: at most 16 tenants per shared cache");
+  const std::int64_t effective_m = m > 0 ? m : options_.cache.capacity_words;
+
+  // Price the candidate before building anything: the admission decision
+  // needs its layout footprint, which is a pure function of the graph and
+  // the online policy's buffer capacities.
+  schedule::OnlineContext ctx;
+  ctx.m = effective_m;
+  const auto pricing_policy =
+      schedule::OnlineRegistry::global().build(options.policy, g, p, ctx);
+  const std::int64_t layout_words = runtime::layout_footprint_words(
+      g, pricing_policy->buffer_caps(), options_.cache.block_words,
+      options.engine.block_align_buffers);
+  if (layout_words > options_.band_words) {
+    throw Error("session layout (" + std::to_string(layout_words) +
+                " words) exceeds band_words (" + std::to_string(options_.band_words) +
+                "); raise ServerOptions::band_words");
   }
-  options.engine.address_base =
-      static_cast<std::int64_t>(tenants_.size()) * (std::int64_t{1} << 36);
+
+  session::AdmissionRequest request;
+  request.layout_words = layout_words;
+  bool evicted_for_room = false;
+  while (!admission_->admits(current_load(), request)) {
+    // Make room by evicting the least-recently-active idle session; a
+    // session doing work is never a victim (it would have to rehydrate
+    // before its very next step).
+    const session::SwapManager::SessionKey victim =
+        options_.swap
+            ? swap_.victim_if([this](session::SwapManager::SessionKey k) {
+                return tenants_.at(static_cast<TenantId>(k)).idle;
+              })
+            : session::SwapManager::kNone;
+    if (victim == session::SwapManager::kNone) {
+      ++lifecycle_.admissions_rejected;
+      return kNoTenant;
+    }
+    const TenantId vid = static_cast<TenantId>(victim);
+    swap_out_tenant(vid, tenants_.at(vid));
+    evicted_for_room = true;
+  }
+  if (evicted_for_room) ++lifecycle_.admissions_queued;
+
+  // Band allocation: smallest free band first (deterministic), else extend.
+  std::int64_t band;
+  if (!free_bands_.empty()) {
+    band = *free_bands_.begin();
+    free_bands_.erase(free_bands_.begin());
+  } else {
+    if (next_band_ >= kBandSpaceWords / options_.band_words) {
+      throw Error("server address space exhausted: at most " +
+                  std::to_string(kBandSpaceWords / options_.band_words) +
+                  " co-open sessions at band_words=" +
+                  std::to_string(options_.band_words) +
+                  " (close sessions or shrink band_words)");
+    }
+    band = next_band_++;
+  }
+  options.engine.address_base = band * options_.band_words;
+
   Tenant t;
   t.name = std::move(name);
-  t.stream = std::make_unique<Stream>(
-      g, p, *cache_, m > 0 ? m : options_.cache.capacity_words, std::move(options));
-  tenants_.push_back(std::move(t));
-  return static_cast<TenantId>(tenants_.size() - 1);
+  t.band = band;
+  t.layout_words = layout_words;
+  t.graph = g;
+  t.partition = p;
+  t.stream_options = options;
+  t.m = effective_m;
+  t.stream = std::make_unique<Stream>(g, p, *cache_, effective_m, std::move(options));
+  CCS_CHECK(t.stream->layout_span().words == layout_words,
+            "admission pricing disagrees with the built engine's layout");
+
+  const TenantId id = next_id_++;
+  tenants_.emplace(id, std::move(t));
+  ++lifecycle_.sessions_opened;
+  lifecycle_.on_resident(layout_words);
+  swap_.admit(id);
+  return id;
 }
 
 TenantId Server::admit(std::string name, const Planner& planner, const Plan& plan,
@@ -102,40 +231,150 @@ TenantId Server::admit(std::string name, const Planner& planner, const Plan& pla
   return admit(std::move(name), planner.graph(), plan.partition, std::move(options));
 }
 
+void Server::throw_unknown_tenant(TenantId id) const {
+  std::string msg = "unknown tenant id " + std::to_string(id) + "; live tenants:";
+  if (tenants_.empty()) {
+    msg += " (none)";
+  } else {
+    bool first = true;
+    for (const auto& [tid, t] : tenants_) {
+      msg += (first ? " " : ", ");
+      msg += std::to_string(tid) + " '" + t.name + "'";
+      first = false;
+    }
+  }
+  throw Error(msg);
+}
+
 Server::Tenant& Server::tenant(TenantId id) {
-  CCS_EXPECTS(id >= 0 && id < tenant_count(), "tenant id out of range");
-  return tenants_[static_cast<std::size_t>(id)];
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) throw_unknown_tenant(id);
+  return it->second;
 }
 
 const Server::Tenant& Server::tenant(TenantId id) const {
-  CCS_EXPECTS(id >= 0 && id < tenant_count(), "tenant id out of range");
-  return tenants_[static_cast<std::size_t>(id)];
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) throw_unknown_tenant(id);
+  return it->second;
 }
 
-Stream& Server::stream(TenantId id) { return *tenant(id).stream; }
-
-const Stream& Server::stream(TenantId id) const { return *tenant(id).stream; }
+Stream& Server::stream(TenantId id) {
+  Tenant& t = tenant(id);
+  if (t.stream == nullptr) rehydrate(id, t);
+  return *t.stream;
+}
 
 const std::string& Server::tenant_name(TenantId id) const { return tenant(id).name; }
 
+session::SessionState Server::state_of(TenantId id) const {
+  const Tenant& t = tenant(id);
+  if (t.stream == nullptr) return session::SessionState::kSwapped;
+  return t.idle ? session::SessionState::kIdle : session::SessionState::kLive;
+}
+
+bool Server::swapped(TenantId id) const { return tenant(id).stream == nullptr; }
+
+void Server::swap_out_tenant(TenantId id, Tenant& t) {
+  CCS_EXPECTS(t.stream != nullptr, "tenant is already swapped out");
+  const StreamState state = t.stream->save_state();
+  // Cache the report summary so report() never needs to rehydrate.
+  t.totals = state.totals;
+  t.steps = state.steps;
+  t.outputs = t.stream->outputs_produced();
+  session::SessionSnapshot snapshot;
+  snapshot.engine = state.engine;
+  snapshot.totals = state.totals;
+  snapshot.steps = state.steps;
+  swap_.swap_out(id, session::SwapImage::pack(snapshot));
+  t.stream.reset();  // frees the engine, channels, and policy
+  t.idle = true;     // swapped sessions are idle by construction
+  lifecycle_.on_nonresident(t.layout_words);
+  ++lifecycle_.swapped_sessions;
+  ++lifecycle_.swap_outs;
+}
+
+void Server::rehydrate(TenantId id, Tenant& t) {
+  CCS_EXPECTS(t.stream == nullptr, "tenant is not swapped out");
+  const session::SessionSnapshot snapshot = swap_.swap_in(id).unpack();
+  // Rebuilding the Stream issues no cache traffic, and restore_state only
+  // rewrites host-side counters -- the simulated cache is untouched, so
+  // the rehydrated session behaves bit-identically to one never swapped.
+  StreamOptions options = t.stream_options;
+  t.stream = std::make_unique<Stream>(t.graph, t.partition, *cache_, t.m,
+                                      std::move(options));
+  StreamState state;
+  state.engine = snapshot.engine;
+  state.totals = snapshot.totals;
+  state.steps = snapshot.steps;
+  t.stream->restore_state(state);
+  lifecycle_.on_resident(t.layout_words);
+  --lifecycle_.swapped_sessions;
+  ++lifecycle_.swap_ins;
+}
+
+void Server::swap_out(TenantId id) {
+  CCS_EXPECTS(options_.swap, "swap_out requires ServerOptions::swap");
+  Tenant& t = tenant(id);
+  if (t.stream == nullptr) throw Error("tenant " + std::to_string(id) + " is already swapped out");
+  if (!t.idle) {
+    throw Error("tenant " + std::to_string(id) +
+                " is not idle; only idle sessions can be swapped out");
+  }
+  swap_out_tenant(id, t);
+}
+
+std::int64_t Server::swap_out_idle() {
+  CCS_EXPECTS(options_.swap, "swap_out_idle requires ServerOptions::swap");
+  std::int64_t evicted = 0;
+  for (auto& [id, t] : tenants_) {
+    if (t.stream != nullptr && t.idle) {
+      swap_out_tenant(id, t);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+void Server::close(TenantId id) {
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) throw_unknown_tenant(id);
+  Tenant& t = it->second;
+  if (t.stream != nullptr) {
+    retired_ += t.stream->stats();
+    lifecycle_.on_nonresident(t.layout_words);
+  } else {
+    // Swapped: the cached summary holds the totals; drop the image.
+    retired_ += t.totals;
+    --lifecycle_.swapped_sessions;
+  }
+  swap_.erase(id);
+  free_bands_.insert(t.band);
+  tenants_.erase(it);
+  ++lifecycle_.sessions_closed;
+}
+
 std::int64_t Server::push(TenantId id, std::int64_t items) {
   Tenant& t = tenant(id);
+  if (t.stream == nullptr) rehydrate(id, t);
   const std::int64_t accepted = t.stream->push(items);
-  if (accepted > 0) t.idle = false;  // new arrivals may unblock the session
+  if (accepted > 0) {
+    t.idle = false;  // new arrivals may unblock the session
+    swap_.touch(id);
+  }
   return accepted;
 }
 
 TenantId Server::step() {
   // Offer every not-known-idle tenant; a pick that turns out blocked is
   // marked idle and the offer repeats, so one step() call either progresses
-  // some tenant or proves the whole server idle.
+  // some tenant or proves the whole server idle. Swapped tenants are idle
+  // by construction and never appear.
   std::vector<TenantStatus> runnable;
   runnable.reserve(tenants_.size());
   for (;;) {
     runnable.clear();
-    for (TenantId id = 0; id < tenant_count(); ++id) {
-      const Tenant& t = tenants_[static_cast<std::size_t>(id)];
-      if (t.idle) continue;
+    for (const auto& [id, t] : tenants_) {
+      if (t.idle || t.stream == nullptr) continue;
       TenantStatus s;
       s.id = id;
       s.pending_inputs = t.stream->pending_inputs();
@@ -147,8 +386,10 @@ TenantId Server::step() {
     if (runnable.empty()) return kNoTenant;
 
     const TenantId id = policy_->pick(runnable);
-    CCS_CHECK(id >= 0 && id < tenant_count(), "tenant policy picked an invalid id");
-    Tenant& t = tenants_[static_cast<std::size_t>(id)];
+    const auto it = tenants_.find(id);
+    CCS_CHECK(it != tenants_.end() && it->second.stream != nullptr,
+              "tenant policy picked an invalid id");
+    Tenant& t = it->second;
     const StepResult r = t.stream->step();
     if (!r.progressed()) {
       t.idle = true;
@@ -157,6 +398,7 @@ TenantId Server::step() {
     t.last_miss_rate = r.run.firings > 0 ? static_cast<double>(r.run.cache.misses) /
                                                static_cast<double>(r.run.firings)
                                          : 0.0;
+    swap_.touch(id);
     ++steps_;
     return id;
   }
@@ -169,7 +411,8 @@ std::int64_t Server::run_until_idle() {
 }
 
 void Server::drain_all() {
-  for (Tenant& t : tenants_) {
+  for (auto& [id, t] : tenants_) {
+    if (t.stream == nullptr) rehydrate(id, t);
     t.stream->drain();
     t.idle = true;
   }
@@ -178,12 +421,27 @@ void Server::drain_all() {
 ServerReport Server::report() const {
   ServerReport report;
   report.steps = steps_;
-  for (const Tenant& t : tenants_) {
+  report.retired = retired_;
+  report.retired_sessions = lifecycle_.sessions_closed;
+  report.aggregate = retired_;
+  report.lifecycle = lifecycle_;
+  report.swap_stored_bytes = swap_.stored_bytes();
+  report.swap_peak_stored_bytes = swap_.peak_stored_bytes();
+  for (const auto& [id, t] : tenants_) {
     TenantReport row;
+    row.id = id;
     row.name = t.name;
-    row.totals = t.stream->stats();
-    row.steps = t.stream->steps();
-    row.outputs = t.stream->outputs_produced();
+    if (t.stream != nullptr) {
+      row.state = t.idle ? session::SessionState::kIdle : session::SessionState::kLive;
+      row.totals = t.stream->stats();
+      row.steps = t.stream->steps();
+      row.outputs = t.stream->outputs_produced();
+    } else {
+      row.state = session::SessionState::kSwapped;
+      row.totals = t.totals;
+      row.steps = t.steps;
+      row.outputs = t.outputs;
+    }
     report.aggregate += row.totals;
     report.tenants.push_back(std::move(row));
   }

@@ -107,6 +107,20 @@ void Stream::migrate_cache(iomodel::CacheSim& cache) {
   cache_ = &cache;
 }
 
+StreamState Stream::save_state() const {
+  StreamState state;
+  state.engine = engine_->save_state();
+  state.totals = totals_;
+  state.steps = steps_;
+  return state;
+}
+
+void Stream::restore_state(const StreamState& state) {
+  engine_->restore_state(state.engine);
+  totals_ = state.totals;
+  steps_ = state.steps;
+}
+
 runtime::FootprintSample Stream::footprint_sample() const noexcept {
   runtime::FootprintSample sample = engine_->footprint_sample();
   sample.accesses = totals_.cache.accesses;

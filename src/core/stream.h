@@ -56,6 +56,19 @@ struct StreamOptions {
   runtime::EngineOptions engine;
 };
 
+/// The complete mutable state of a Stream at a quiescent point: the
+/// engine's execution state plus the session-level accumulators. An
+/// OnlinePolicy keeps no cross-step state (it replans from the live
+/// EngineView on every call), so rebuilding the policy from
+/// (graph, partition, m) reproduces identical decisions and nothing of it
+/// needs saving — this struct plus the construction inputs IS the session.
+/// session::SwapImage packs it into a compact byte buffer.
+struct StreamState {
+  runtime::EngineState engine;
+  runtime::RunResult totals;  ///< stats() accumulator.
+  std::int64_t steps = 0;     ///< Progressing step() calls.
+};
+
 /// What one step() did.
 struct StepResult {
   /// Component the policy executed, or schedule::kNoComponent when the
@@ -147,6 +160,16 @@ class Stream {
   /// totals, so tenants sharing a worker cache never window each other's
   /// traffic.
   runtime::FootprintSample footprint_sample() const noexcept;
+
+  /// Captures the session's complete mutable state at a quiescent point
+  /// (between steps). The swap tier destroys the Stream afterwards and
+  /// rebuilds it from the same (graph, partition, m, options) later.
+  StreamState save_state() const;
+
+  /// Restores a save_state() capture into a freshly constructed twin
+  /// (same graph, partition, m, and options). No cache traffic; after it,
+  /// pushes and steps behave bit-identically to a never-destroyed session.
+  void restore_state(const StreamState& state);
 
   const schedule::OnlinePolicy& policy() const noexcept { return *policy_; }
   const sdf::SdfGraph& graph() const noexcept { return graph_; }

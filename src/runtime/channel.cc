@@ -37,6 +37,13 @@ void Channel::pop(std::int64_t count, iomodel::CacheSim& cache) {
   size_ -= count;
 }
 
+void Channel::restore(std::int64_t head, std::int64_t size) {
+  CCS_EXPECTS(head >= 0 && head < capacity_, "restored head out of range");
+  CCS_EXPECTS(size >= 0 && size <= capacity_, "restored size exceeds capacity");
+  head_ = head;
+  size_ = size;
+}
+
 void Channel::touch(std::int64_t offset, std::int64_t count, iomodel::CacheSim& cache,
                     iomodel::AccessMode mode) const {
   // A ring span wraps at most once (count <= capacity), so the whole

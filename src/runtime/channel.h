@@ -39,6 +39,17 @@ class Channel {
     size_ = 0;
   }
 
+  /// Ring cursor of the oldest token, in [0, capacity). Together with
+  /// size() this is the channel's complete mutable state -- the swap tier
+  /// serializes exactly this pair.
+  std::int64_t head() const noexcept { return head_; }
+
+  /// Restores the ring cursors without memory traffic (swap-tier
+  /// rehydration). Token *contents* are not modeled beyond block residency,
+  /// so cursors are all there is to restore; the blocks themselves stay in
+  /// (or fall out of) the simulated cache independently.
+  void restore(std::int64_t head, std::int64_t size);
+
  private:
   /// Touches every block overlapping [offset, offset+count) within the ring:
   /// the wrapped span splits into at most two contiguous pieces, each issued

@@ -16,6 +16,24 @@ constexpr iomodel::Addr kExternalOutBase = iomodel::Addr{1} << 41;
 
 }  // namespace
 
+std::int64_t layout_footprint_words(const sdf::SdfGraph& g,
+                                    std::span<const std::int64_t> buffer_caps,
+                                    std::int64_t block_words,
+                                    bool block_align_buffers) {
+  CCS_EXPECTS(buffer_caps.size() == static_cast<std::size_t>(g.edge_count()),
+              "one buffer capacity per edge required");
+  // Mirrors the constructor's allocation sequence exactly: state regions
+  // block-aligned, channel rings packed unless block_align_buffers.
+  iomodel::MemoryLayout layout(block_words, 0);
+  for (sdf::NodeId v = 0; v < g.node_count(); ++v) {
+    layout.allocate(g.node(v).state, "state");
+  }
+  for (sdf::EdgeId e = 0; e < g.edge_count(); ++e) {
+    layout.allocate(buffer_caps[static_cast<std::size_t>(e)], "buf", block_align_buffers);
+  }
+  return layout.footprint();
+}
+
 Engine::Engine(const sdf::SdfGraph& g, std::vector<std::int64_t> buffer_caps,
                iomodel::CacheSim& cache, EngineOptions options)
     : graph_(&g),
@@ -307,6 +325,60 @@ void Engine::rebind_cache(iomodel::CacheSim& cache) {
   last_io_misses_ = 0;
   node_miss_base_.assign(node_miss_base_.size(), 0);
   last_stats_ = cache.stats();
+}
+
+EngineState Engine::save_state() const {
+  // Quiescence check: all engine-local deltas must have been taken, or the
+  // re-anchored baselines on restore would silently swallow them. (Cache
+  // deltas are NOT checked -- on a shared cache other tenants' traffic
+  // shows up there, and resync_cache_baseline handles it per window.)
+  CCS_EXPECTS(total_firings_ == last_firings_ && state_misses_ == last_state_misses_ &&
+                  channel_misses_ == last_channel_misses_ && io_misses_ == last_io_misses_,
+              "save_state requires a quiescent engine (take() the pending counters first)");
+  EngineState s;
+  s.channel_heads.reserve(channels_.size());
+  s.channel_sizes.reserve(channels_.size());
+  for (const Channel& c : channels_) {
+    s.channel_heads.push_back(c.head());
+    s.channel_sizes.push_back(c.size());
+  }
+  s.fired = fired_;
+  s.input_credit = input_credit_;
+  s.external_in_cursor = external_in_cursor_;
+  s.external_out_cursor = external_out_cursor_;
+  s.source_firings = source_firings_;
+  s.sink_firings = sink_firings_;
+  s.total_firings = total_firings_;
+  s.state_misses = state_misses_;
+  s.channel_misses = channel_misses_;
+  s.io_misses = io_misses_;
+  return s;
+}
+
+void Engine::restore_state(const EngineState& state) {
+  if (state.channel_heads.size() != channels_.size() ||
+      state.channel_sizes.size() != channels_.size() ||
+      state.fired.size() != fired_.size()) {
+    throw ScheduleError(
+        "engine state shape mismatch: saved for a different graph or buffer "
+        "assignment");
+  }
+  for (std::size_t e = 0; e < channels_.size(); ++e) {
+    channels_[e].restore(state.channel_heads[e], state.channel_sizes[e]);
+  }
+  fired_ = state.fired;
+  input_credit_ = state.input_credit;
+  external_in_cursor_ = state.external_in_cursor;
+  external_out_cursor_ = state.external_out_cursor;
+  source_firings_ = state.source_firings;
+  sink_firings_ = state.sink_firings;
+  total_firings_ = state.total_firings;
+  state_misses_ = state.state_misses;
+  channel_misses_ = state.channel_misses;
+  io_misses_ = state.io_misses;
+  // Re-anchor every baseline at the restored lifetime counters: the state
+  // was captured quiescent, so all deltas were zero then and are zero now.
+  advance_baselines();
 }
 
 void Engine::migrate_cache(iomodel::CacheSim& cache) {

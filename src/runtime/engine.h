@@ -88,6 +88,47 @@ struct FootprintSample {
   std::int64_t misses = 0;        ///< Lifetime cache misses attributed to this engine.
 };
 
+/// The complete mutable execution state of an Engine, captured at a
+/// quiescent point (a take()/run() boundary) so an idle session's host
+/// objects can be destroyed and later rebuilt bit-identically — the swap
+/// tier (session::SwappedSession) packs this into a compact byte image.
+///
+/// What is deliberately NOT here: the memory layout and firing plans (pure
+/// functions of graph + buffer_caps + options, recomputed by the Engine
+/// constructor without any cache traffic) and the simulated cache contents
+/// (the cache keeps or evicts the session's blocks on its own — exactly as
+/// it would had the host objects stayed alive, since an idle engine issues
+/// no accesses either way). Delta baselines are re-anchored on restore,
+/// which is lossless at a quiescent point because every delta is zero there.
+struct EngineState {
+  std::vector<std::int64_t> channel_heads;  ///< Ring cursor per edge.
+  std::vector<std::int64_t> channel_sizes;  ///< Queued tokens per edge.
+  std::vector<std::int64_t> fired;          ///< Lifetime firings per node.
+  std::int64_t input_credit = 0;            ///< Remaining source credit (credit mode).
+  iomodel::Addr external_in_cursor = 0;
+  iomodel::Addr external_out_cursor = 0;
+  std::int64_t source_firings = 0;
+  std::int64_t sink_firings = 0;
+  std::int64_t total_firings = 0;
+  std::int64_t state_misses = 0;    ///< Lifetime classified-miss counters.
+  std::int64_t channel_misses = 0;
+  std::int64_t io_misses = 0;
+
+  friend bool operator==(const EngineState&, const EngineState&) = default;
+};
+
+/// The layout footprint (state + channel rings, in words, including
+/// block-alignment padding) an Engine for (g, buffer_caps) would occupy,
+/// computed WITHOUT constructing an engine or touching any cache -- pure
+/// integer arithmetic over the same MemoryLayout allocation sequence the
+/// constructor performs from a block-aligned base. Admission control
+/// (session::AdmissionPolicy "bounded-memory") prices a session before
+/// deciding whether to build it.
+std::int64_t layout_footprint_words(const sdf::SdfGraph& g,
+                                    std::span<const std::int64_t> buffer_caps,
+                                    std::int64_t block_words,
+                                    bool block_align_buffers = false);
+
 /// Executes firing sequences for one graph + buffer-capacity assignment.
 class Engine {
  public:
@@ -190,6 +231,21 @@ class Engine {
   /// cost core::Cluster models (contrast rebind_cache, which restarts the
   /// run for sweep reuse). Call between run/take windows, never mid-run.
   void migrate_cache(iomodel::CacheSim& cache);
+
+  /// Captures the complete mutable execution state. Must be called at a
+  /// quiescent point: every counter since the last take()/run() must have
+  /// been taken (engine-local deltas are asserted zero), so re-anchoring
+  /// the baselines on restore loses nothing.
+  EngineState save_state() const;
+
+  /// Restores a state captured by save_state() from an engine built for
+  /// the same graph, buffer capacities, and options (vector lengths are
+  /// validated; a mismatch throws ScheduleError). Issues NO cache traffic
+  /// and re-anchors all delta baselines at the restored lifetime counters
+  /// and the bound cache's current statistics — the swap-tier rehydration
+  /// contract: a restored engine's subsequent firings are bit-identical to
+  /// one that was never torn down.
+  void restore_state(const EngineState& state);
 
   const sdf::SdfGraph& graph() const noexcept { return *graph_; }
   iomodel::CacheSim& cache() noexcept { return *cache_; }

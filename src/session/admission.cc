@@ -1,0 +1,82 @@
+#include "session/admission.h"
+
+namespace ccs::session {
+
+namespace {
+
+/// Always admit -- the pre-lifecycle behaviour, and the default.
+class UnboundedPolicy final : public AdmissionPolicy {
+ public:
+  bool admits(const AdmissionLoad&, const AdmissionRequest&) const override {
+    return true;
+  }
+  std::string name() const override { return "unbounded"; }
+};
+
+/// At most budget.max_live_sessions resident sessions (0 = unlimited).
+class BoundedLivePolicy final : public AdmissionPolicy {
+ public:
+  explicit BoundedLivePolicy(const AdmissionBudget& budget) : budget_(budget) {}
+
+  bool admits(const AdmissionLoad& load, const AdmissionRequest&) const override {
+    return budget_.max_live_sessions <= 0 ||
+           load.live_sessions < budget_.max_live_sessions;
+  }
+  std::string name() const override { return "bounded-live"; }
+
+ private:
+  AdmissionBudget budget_;
+};
+
+/// Resident layout words must stay within budget.max_resident_words after
+/// the admit (0 = unlimited). A candidate bigger than the whole budget is
+/// refused even on an empty endpoint -- no eviction sequence can fit it.
+class BoundedMemoryPolicy final : public AdmissionPolicy {
+ public:
+  explicit BoundedMemoryPolicy(const AdmissionBudget& budget) : budget_(budget) {}
+
+  bool admits(const AdmissionLoad& load, const AdmissionRequest& request) const override {
+    return budget_.max_resident_words <= 0 ||
+           load.resident_words + request.layout_words <= budget_.max_resident_words;
+  }
+  std::string name() const override { return "bounded-memory"; }
+
+ private:
+  AdmissionBudget budget_;
+};
+
+}  // namespace
+
+void register_builtin_admission(AdmissionRegistry& r) {
+  r.add("unbounded",
+        AdmissionEntry{[](const AdmissionBudget&) -> std::unique_ptr<AdmissionPolicy> {
+                         return std::make_unique<UnboundedPolicy>();
+                       },
+                       "always admit (memory grows with ever-admitted sessions)"});
+  r.add("bounded-live",
+        AdmissionEntry{[](const AdmissionBudget& b) -> std::unique_ptr<AdmissionPolicy> {
+                         return std::make_unique<BoundedLivePolicy>(b);
+                       },
+                       "cap resident sessions at budget.max_live_sessions"});
+  r.add("bounded-memory",
+        AdmissionEntry{[](const AdmissionBudget& b) -> std::unique_ptr<AdmissionPolicy> {
+                         return std::make_unique<BoundedMemoryPolicy>(b);
+                       },
+                       "cap resident layout words at budget.max_resident_words"});
+}
+
+AdmissionRegistry& AdmissionRegistry::global() {
+  static AdmissionRegistry* instance = [] {
+    auto* r = new AdmissionRegistry();
+    register_builtin_admission(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+std::unique_ptr<AdmissionPolicy> AdmissionRegistry::build(
+    const std::string& name, const AdmissionBudget& budget) const {
+  return find(name).build(budget);
+}
+
+}  // namespace ccs::session

@@ -1,0 +1,90 @@
+// Admission control: should this serving endpoint accept another session?
+//
+// An AdmissionPolicy answers one question at admit() time -- given the
+// endpoint's current load and a budget, may a candidate session become
+// resident? -- and is deliberately ignorant of *how* the endpoint makes
+// room (that is the swap tier's job). Policies are resolved by name
+// through AdmissionRegistry, exactly like partitioners and placements:
+//
+//  * "unbounded"      -- always admit (the pre-lifecycle behaviour);
+//  * "bounded-live"   -- at most `max_live_sessions` resident sessions;
+//  * "bounded-memory" -- resident layout words (state + rings) must stay
+//                        within `max_resident_words` after the admit.
+//
+// A refusal is not final: when the endpoint has a swap tier, it evicts the
+// least-recently-active idle session and retries, counting the admission
+// as "queued" rather than "rejected" (LifecycleCounters).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "util/registry.h"
+
+namespace ccs::session {
+
+/// Limits an AdmissionPolicy enforces. A zero field means "no limit on
+/// this axis" (so the default budget admits everything under every
+/// built-in policy).
+struct AdmissionBudget {
+  std::int64_t max_live_sessions = 0;   ///< Cap on resident sessions; 0 = none.
+  std::int64_t max_resident_words = 0;  ///< Cap on resident layout words; 0 = none.
+};
+
+/// The endpoint's load at the moment of the admission decision.
+struct AdmissionLoad {
+  std::int64_t live_sessions = 0;   ///< Resident sessions right now.
+  std::int64_t resident_words = 0;  ///< Their summed layout words.
+};
+
+/// The candidate session.
+struct AdmissionRequest {
+  std::int64_t layout_words = 0;  ///< State + channel rings it would occupy.
+};
+
+/// One admission decision rule. Implementations must be pure functions of
+/// (budget, load, request) -- determinism gates byte-diff report JSON.
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+
+  /// True iff the candidate may become resident right now.
+  virtual bool admits(const AdmissionLoad& load, const AdmissionRequest& request) const = 0;
+
+  /// The registry key this policy was built under.
+  virtual std::string name() const = 0;
+};
+
+/// A named admission policy factory.
+struct AdmissionEntry {
+  /// Builds the policy for a budget (must be deterministic).
+  std::function<std::unique_ptr<AdmissionPolicy>(const AdmissionBudget&)> build;
+
+  /// One-line description for --help style listings.
+  std::string description;
+};
+
+/// String-keyed admission-policy table. See util/registry.h for the shared
+/// add/find/keys semantics (duplicate and unknown keys throw ccs::Error
+/// listing the valid alternatives).
+class AdmissionRegistry : public NamedRegistry<AdmissionEntry> {
+ public:
+  AdmissionRegistry()
+      : NamedRegistry<AdmissionEntry>("admission policy", "admission policies") {}
+
+  /// The process-wide registry, seeded with the built-ins on first use.
+  static AdmissionRegistry& global();
+
+  /// Looks up `name` and builds the policy for `budget`. Throws ccs::Error
+  /// (listing valid keys) for unknown names.
+  std::unique_ptr<AdmissionPolicy> build(const std::string& name,
+                                         const AdmissionBudget& budget) const;
+};
+
+/// Registers the built-ins into `r` (used by global(); exposed so tests can
+/// build isolated registries): unbounded, bounded-live, bounded-memory.
+void register_builtin_admission(AdmissionRegistry& r);
+
+}  // namespace ccs::session

@@ -1,0 +1,19 @@
+#include "session/lifecycle.h"
+
+namespace ccs::session {
+
+std::string to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kLive:
+      return "live";
+    case SessionState::kIdle:
+      return "idle";
+    case SessionState::kSwapped:
+      return "swapped";
+    case SessionState::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+}  // namespace ccs::session

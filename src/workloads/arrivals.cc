@@ -1,6 +1,9 @@
 #include "workloads/arrivals.h"
 
+#include <utility>
+
 #include "util/contracts.h"
+#include "util/rng.h"
 
 namespace ccs::workloads {
 
@@ -69,6 +72,53 @@ void register_builtin_arrivals(ArrivalRegistry& r) {
   r.add("bursty-64-shift-8",
         {[] { return phase_shift_arrivals(bursty_arrivals(64, 16), 8); },
          "bursty-64 delayed half a period (stagger against bursty-64 tenants)"});
+}
+
+std::vector<SessionEvent> churn_trace(const ChurnOptions& options) {
+  CCS_EXPECTS(options.sessions >= 0, "session count must be non-negative");
+  CCS_EXPECTS(options.max_concurrent >= 1, "at least one session must fit");
+  CCS_EXPECTS(options.pushes_per_session >= 1, "each session needs a burst");
+  CCS_EXPECTS(options.items_per_push >= 1, "bursts must carry items");
+
+  std::vector<SessionEvent> trace;
+  trace.reserve(static_cast<std::size_t>(
+      options.sessions * (options.pushes_per_session + 2)));
+  Rng rng(options.seed);
+
+  // Open sessions with bursts still owed. Each drawn event either opens the
+  // next logical session (when there is room) or advances a random open one
+  // -- its next burst, or its close once the bursts are spent. Interleaving
+  // means a session usually sits idle between its own bursts while others
+  // run: exactly the reactivation pattern the swap tier feeds on.
+  struct Open {
+    std::int64_t session = 0;
+    std::int64_t pushes_left = 0;
+  };
+  std::vector<Open> open;
+  std::int64_t next_session = 0;
+  while (next_session < options.sessions || !open.empty()) {
+    const bool can_open = next_session < options.sessions &&
+                          static_cast<std::int64_t>(open.size()) < options.max_concurrent;
+    const bool must_open = open.empty();
+    if (must_open || (can_open && rng.bernoulli(0.5))) {
+      trace.push_back({SessionEvent::Kind::kOpen, next_session, 0});
+      open.push_back({next_session, options.pushes_per_session});
+      ++next_session;
+      continue;
+    }
+    const auto slot = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(open.size()) - 1));
+    Open& o = open[slot];
+    if (o.pushes_left > 0) {
+      trace.push_back({SessionEvent::Kind::kPush, o.session, options.items_per_push});
+      --o.pushes_left;
+    } else {
+      trace.push_back({SessionEvent::Kind::kClose, o.session, 0});
+      o = open.back();  // swap-remove; order is rng-driven anyway
+      open.pop_back();
+    }
+  }
+  return trace;
 }
 
 }  // namespace ccs::workloads

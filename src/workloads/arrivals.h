@@ -17,11 +17,17 @@
 // ArrivalRegistry names representative instances ("steady-1", "bursty-64",
 // ...) so experiment specs can grid arrival shapes by key, exactly like
 // workloads::Registry names graphs.
+// Session churn (PR 8): where an ArrivalPattern modulates ONE session's
+// rate, a ChurnTrace is the lifecycle schedule of a whole population --
+// sessions open, push a few bursts (going idle in between), and close,
+// with only a bounded number open at once. Deterministic via util/rng.h
+// (splitmix64), so a trace regenerates bit-for-bit from its options.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "util/registry.h"
 
@@ -79,5 +85,38 @@ class ArrivalRegistry : public NamedRegistry<ArrivalEntry> {
 /// tests can build isolated registries): steady-1, steady-16, bursty-64,
 /// bursty-256, bursty-1024, on-off-8x8, on-off-16x48, bursty-64-shift-8.
 void register_builtin_arrivals(ArrivalRegistry& r);
+
+/// One lifecycle event in a churn trace. Sessions are logical indices
+/// (0-based, in open order); the driver maps them to live tenant ids.
+struct SessionEvent {
+  enum class Kind {
+    kOpen,   ///< Session `session` opens (admit).
+    kPush,   ///< `items` arrivals for `session`, which then runs until idle
+             ///< -- a push to a long-quiet session is its reactivation.
+    kClose,  ///< Session `session` retires forever (close).
+  };
+  Kind kind = Kind::kOpen;
+  std::int64_t session = 0;
+  std::int64_t items = 0;  ///< Non-zero only for kPush.
+
+  friend bool operator==(const SessionEvent&, const SessionEvent&) = default;
+};
+
+/// Churn-trace shape knobs.
+struct ChurnOptions {
+  std::int64_t sessions = 1024;          ///< Logical sessions over the trace.
+  std::int64_t max_concurrent = 8;       ///< Open sessions at any instant.
+  std::int64_t pushes_per_session = 4;   ///< Bursts each session receives.
+  std::int64_t items_per_push = 64;      ///< Arrivals per burst.
+  std::uint64_t seed = 1;                ///< splitmix64 seed.
+};
+
+/// Generates the full event stream of a churn workload: every session
+/// opens exactly once, receives `pushes_per_session` bursts interleaved
+/// with other sessions' activity (idling between its own bursts), and
+/// closes after its last burst. At most `max_concurrent` sessions are open
+/// at any prefix of the trace. Deterministic: identical options produce an
+/// identical trace.
+std::vector<SessionEvent> churn_trace(const ChurnOptions& options);
 
 }  // namespace ccs::workloads

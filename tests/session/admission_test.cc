@@ -1,0 +1,79 @@
+// session::AdmissionPolicy -- the registry and the three built-in budgets.
+
+#include "session/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace ccs::session {
+namespace {
+
+AdmissionLoad load(std::int64_t live, std::int64_t resident) {
+  AdmissionLoad l;
+  l.live_sessions = live;
+  l.resident_words = resident;
+  return l;
+}
+
+AdmissionRequest request(std::int64_t layout) {
+  AdmissionRequest r;
+  r.layout_words = layout;
+  return r;
+}
+
+TEST(AdmissionRegistry, ListsBuiltins) {
+  const auto& reg = AdmissionRegistry::global();
+  EXPECT_TRUE(reg.contains("unbounded"));
+  EXPECT_TRUE(reg.contains("bounded-live"));
+  EXPECT_TRUE(reg.contains("bounded-memory"));
+}
+
+TEST(AdmissionRegistry, UnknownKeyThrowsListingValidKeys) {
+  try {
+    AdmissionRegistry::global().build("no-such-policy", {});
+    FAIL() << "expected ccs::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(what.find("bounded-live"), std::string::npos);
+  }
+}
+
+TEST(Admission, UnboundedAdmitsEverything) {
+  const auto policy = AdmissionRegistry::global().build("unbounded", {});
+  EXPECT_EQ(policy->name(), "unbounded");
+  EXPECT_TRUE(policy->admits(load(0, 0), request(1)));
+  EXPECT_TRUE(policy->admits(load(1 << 20, std::int64_t{1} << 40),
+                             request(std::int64_t{1} << 30)));
+}
+
+TEST(Admission, BoundedLiveEnforcesSessionBudget) {
+  AdmissionBudget budget;
+  budget.max_live_sessions = 3;
+  const auto policy = AdmissionRegistry::global().build("bounded-live", budget);
+  EXPECT_EQ(policy->name(), "bounded-live");
+  EXPECT_TRUE(policy->admits(load(0, 0), request(100)));
+  EXPECT_TRUE(policy->admits(load(2, 0), request(100)));
+  EXPECT_FALSE(policy->admits(load(3, 0), request(100)));
+  EXPECT_FALSE(policy->admits(load(4, 0), request(100)));
+}
+
+TEST(Admission, BoundedLiveZeroBudgetMeansUnlimited) {
+  const auto policy = AdmissionRegistry::global().build("bounded-live", {});
+  EXPECT_TRUE(policy->admits(load(1 << 20, 0), request(100)));
+}
+
+TEST(Admission, BoundedMemoryChargesTheCandidateLayout) {
+  AdmissionBudget budget;
+  budget.max_resident_words = 1000;
+  const auto policy = AdmissionRegistry::global().build("bounded-memory", budget);
+  EXPECT_EQ(policy->name(), "bounded-memory");
+  EXPECT_TRUE(policy->admits(load(5, 0), request(1000)));    // exactly fits
+  EXPECT_TRUE(policy->admits(load(5, 600), request(400)));   // exactly fits
+  EXPECT_FALSE(policy->admits(load(5, 600), request(401)));  // one word over
+  EXPECT_FALSE(policy->admits(load(0, 0), request(1001)));   // too big alone
+}
+
+}  // namespace
+}  // namespace ccs::session

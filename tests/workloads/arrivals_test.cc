@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/contracts.h"
 #include "util/error.h"
 
@@ -88,6 +90,87 @@ TEST(Arrivals, RejectsDegenerateParameters) {
   EXPECT_THROW(steady_arrivals(-1), ContractViolation);
   EXPECT_THROW(phase_shift_arrivals(steady_arrivals(1), -1), ContractViolation);
   EXPECT_THROW(phase_shift_arrivals(nullptr, 1), ContractViolation);
+}
+
+TEST(ChurnTrace, EverySessionOpensPushesAndCloses) {
+  ChurnOptions o;
+  o.sessions = 100;
+  o.max_concurrent = 5;
+  o.pushes_per_session = 3;
+  o.items_per_push = 16;
+  const std::vector<SessionEvent> trace = churn_trace(o);
+
+  std::int64_t opens = 0, pushes = 0, closes = 0;
+  std::vector<std::int64_t> pushes_of(o.sessions, 0);
+  std::vector<bool> is_open(o.sessions, false), ever(o.sessions, false);
+  for (const SessionEvent& e : trace) {
+    switch (e.kind) {
+      case SessionEvent::Kind::kOpen:
+        EXPECT_FALSE(ever[e.session]) << "session reopened";
+        ever[e.session] = is_open[e.session] = true;
+        ++opens;
+        break;
+      case SessionEvent::Kind::kPush:
+        EXPECT_TRUE(is_open[e.session]);
+        EXPECT_EQ(e.items, o.items_per_push);
+        ++pushes_of[e.session];
+        ++pushes;
+        break;
+      case SessionEvent::Kind::kClose:
+        EXPECT_TRUE(is_open[e.session]);
+        is_open[e.session] = false;
+        ++closes;
+        break;
+    }
+  }
+  EXPECT_EQ(opens, o.sessions);
+  EXPECT_EQ(closes, o.sessions);
+  EXPECT_EQ(pushes, o.sessions * o.pushes_per_session);
+  for (std::int64_t s = 0; s < o.sessions; ++s) {
+    EXPECT_EQ(pushes_of[s], o.pushes_per_session) << s;
+    EXPECT_FALSE(is_open[s]) << s;
+  }
+}
+
+TEST(ChurnTrace, NeverExceedsTheConcurrencyBound) {
+  ChurnOptions o;
+  o.sessions = 400;
+  o.max_concurrent = 7;
+  const std::vector<SessionEvent> trace = churn_trace(o);
+  std::int64_t open = 0, peak = 0;
+  for (const SessionEvent& e : trace) {
+    if (e.kind == SessionEvent::Kind::kOpen) peak = std::max(peak, ++open);
+    if (e.kind == SessionEvent::Kind::kClose) --open;
+  }
+  EXPECT_LE(peak, o.max_concurrent);
+  // With 400 sessions and a bound of 7, the trace should actually reach the
+  // bound, not trivially satisfy it.
+  EXPECT_EQ(peak, o.max_concurrent);
+}
+
+TEST(ChurnTrace, DeterministicPerSeed) {
+  ChurnOptions o;
+  o.sessions = 64;
+  o.seed = 99;
+  EXPECT_EQ(churn_trace(o), churn_trace(o));
+  ChurnOptions other = o;
+  other.seed = 100;
+  EXPECT_NE(churn_trace(o), churn_trace(other));
+}
+
+TEST(ChurnTrace, RejectsDegenerateParameters) {
+  ChurnOptions o;
+  o.sessions = -1;
+  EXPECT_THROW(churn_trace(o), ContractViolation);
+  o = {};
+  o.max_concurrent = 0;
+  EXPECT_THROW(churn_trace(o), ContractViolation);
+  o = {};
+  o.pushes_per_session = 0;
+  EXPECT_THROW(churn_trace(o), ContractViolation);
+  o = {};
+  o.items_per_push = 0;
+  EXPECT_THROW(churn_trace(o), ContractViolation);
 }
 
 }  // namespace
