@@ -446,7 +446,12 @@ void Cluster::swap_out_tenant(TenantId id, Tenant& t) {
   snapshot.engine = state.engine;
   snapshot.totals = state.totals;
   snapshot.steps = state.steps;
-  swap_.swap_out(id, session::SwapImage::pack(snapshot));
+  session::SwapImage image = session::SwapImage::pack(snapshot);
+  // Same round-trip self-check as Server::swap_out_tenant: the image is the
+  // session's only copy once the host objects are freed.
+  CCS_AUDIT(image.unpack() == snapshot,
+            "swap image does not round-trip the session snapshot");
+  swap_.swap_out(id, std::move(image));
   t.stream.reset();
   t.idle = true;  // swapped sessions are idle by construction
   lifecycle_.on_nonresident(t.layout_words);

@@ -91,7 +91,7 @@ std::vector<Plan> Planner::plan_all() const {
 }
 
 std::optional<Rational> Planner::lower_bound_bandwidth() const {
-  const std::lock_guard<std::mutex> lock(lower_bound_mutex_);
+  const MutexLock lock(lower_bound_mutex_);
   if (!lower_bound_computed_) {
     // Theorem 3 for pipelines / Theorems 7 and 10 for dags, both expressed
     // as a minimum bandwidth: every schedule pays Omega((T/B) * bw). For

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +32,8 @@
 #include "sdf/gain.h"
 #include "sdf/graph.h"
 #include "schedule/schedule.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/rational.h"
 
 namespace ccs::core {
@@ -120,9 +121,9 @@ class Planner {
   // Lazily cached lower bound (strategy-independent, potentially
   // expensive), guarded so concurrent compare() calls on a const session
   // do not race.
-  mutable std::mutex lower_bound_mutex_;
-  mutable bool lower_bound_computed_ = false;
-  mutable std::optional<Rational> lower_bound_bw_;
+  mutable Mutex lower_bound_mutex_;
+  mutable bool lower_bound_computed_ CCS_GUARDED_BY(lower_bound_mutex_) = false;
+  mutable std::optional<Rational> lower_bound_bw_ CCS_GUARDED_BY(lower_bound_mutex_);
 };
 
 /// Multi-line human-readable report of a plan: partition composition,

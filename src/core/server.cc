@@ -285,7 +285,13 @@ void Server::swap_out_tenant(TenantId id, Tenant& t) {
   snapshot.engine = state.engine;
   snapshot.totals = state.totals;
   snapshot.steps = state.steps;
-  swap_.swap_out(id, session::SwapImage::pack(snapshot));
+  session::SwapImage image = session::SwapImage::pack(snapshot);
+  // The packed image is the only copy of the session once the host objects
+  // are freed; audit builds prove the codec round-trips this very snapshot
+  // before the originals are destroyed.
+  CCS_AUDIT(image.unpack() == snapshot,
+            "swap image does not round-trip the session snapshot");
+  swap_.swap_out(id, std::move(image));
   t.stream.reset();  // frees the engine, channels, and policy
   t.idle = true;     // swapped sessions are idle by construction
   lifecycle_.on_nonresident(t.layout_words);

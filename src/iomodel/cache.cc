@@ -288,15 +288,53 @@ void LruCache::do_access_blocks(BlockId first, std::int64_t count, AccessMode mo
   stats_.accesses += count;
   stats_.hits += hits;
   stats_.misses += count - hits;
+  CCS_AUDIT_BLOCK(if ((++audit_tick_ & 63) == 0) audit_invariants(););
 }
 
 void LruCache::flush() {
+  CCS_AUDIT_BLOCK(audit_invariants(););
   for (std::int32_t i = 1; i <= size_; ++i) {
     if (slab_[static_cast<std::size_t>(i)].dirty) ++stats_.writebacks;
   }
   std::fill(table_.begin(), table_.end(), kNil);
   slab_[0].prev = slab_[0].next = 0;
   size_ = 0;
+}
+
+void LruCache::audit_invariants() const {
+  CCS_CHECK(size_ >= 0 && size_ <= capacity_blocks_,
+            "resident count outside [0, capacity]");
+  // Recency plane: exactly size_ nodes reachable forward from the sentinel,
+  // back links consistent at every hop, circle closed by the sentinel's LRU
+  // link. The walk is bounded by size_ so a corrupt cycle fails fast
+  // instead of spinning.
+  std::int64_t walked = 0;
+  std::int32_t prev = 0;
+  for (std::int32_t idx = slab_[0].next; idx != 0;
+       idx = slab_[static_cast<std::size_t>(idx)].next) {
+    CCS_CHECK(idx >= 1 && idx <= size_, "recency link points outside the live slab");
+    const Node& n = slab_[static_cast<std::size_t>(idx)];
+    CCS_CHECK(n.prev == prev, "recency list back link broken");
+    CCS_CHECK(n.block >= 0, "resident node holds an invalid block id");
+    CCS_CHECK(walked++ < size_, "recency list longer than resident count (cycle?)");
+    // Table plane: every resident block must be findable at the slot the
+    // probe sequence ends on, mapping back to this very node.
+    CCS_CHECK(table_[find_slot(n.block)] == idx,
+              "table does not map a resident block to its node");
+    prev = idx;
+  }
+  CCS_CHECK(walked == size_, "recency list shorter than resident count");
+  CCS_CHECK(slab_[0].prev == prev, "sentinel LRU link does not close the circle");
+  // Table plane: exactly size_ live entries, all within the live slab range
+  // (a duplicate table entry would already have failed the walk above,
+  // since two slots cannot both be find_slot of one block).
+  std::int64_t live = 0;
+  for (const std::int32_t idx : table_) {
+    if (idx == kNil) continue;
+    ++live;
+    CCS_CHECK(idx >= 1 && idx <= size_, "table entry outside the live slab range");
+  }
+  CCS_CHECK(live == size_, "table entry count disagrees with resident count");
 }
 
 bool LruCache::contains(Addr addr) const {
@@ -431,14 +469,38 @@ void SetAssociativeCache::do_access_blocks(BlockId first, std::int64_t count,
   stats_.accesses += count;
   stats_.hits += hits;
   stats_.misses += count - hits;
+  CCS_AUDIT_BLOCK(if ((++audit_tick_ & 63) == 0) audit_invariants(););
 }
 
 void SetAssociativeCache::flush() {
+  CCS_AUDIT_BLOCK(audit_invariants(););
   for (std::size_t i = 0; i < tags_.size(); ++i) {
     if (tags_[i] != kEmptyTag && (meta_[i] & 1) != 0) ++stats_.writebacks;
   }
   std::fill(tags_.begin(), tags_.end(), kEmptyTag);
   std::fill(meta_.begin(), meta_.end(), std::uint64_t{0});
+}
+
+void SetAssociativeCache::audit_invariants() const {
+  CCS_CHECK(stats_.hits + stats_.misses == stats_.accesses,
+            "hit/miss split disagrees with the access count");
+  for (std::int64_t set = 0; set < num_sets_; ++set) {
+    const std::size_t base =
+        static_cast<std::size_t>(set) * static_cast<std::size_t>(ways_);
+    for (std::int32_t w = 0; w < ways_; ++w) {
+      const BlockId tag = tags_[base + static_cast<std::size_t>(w)];
+      if (tag == kEmptyTag) continue;
+      CCS_CHECK(tag >= 0, "resident tag holds an invalid block id");
+      CCS_CHECK(set_index(tag) == static_cast<std::size_t>(set),
+                "resident tag indexes a different set");
+      CCS_CHECK(meta_[base + static_cast<std::size_t>(w)] >> 1 <= tick_,
+                "recency stamp is newer than the current tick");
+      for (std::int32_t w2 = w + 1; w2 < ways_; ++w2) {
+        CCS_CHECK(tags_[base + static_cast<std::size_t>(w2)] != tag,
+                  "one block resident in two ways of a set");
+      }
+    }
+  }
 }
 
 bool SetAssociativeCache::contains(Addr addr) const {

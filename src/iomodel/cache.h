@@ -123,6 +123,15 @@ class LruCache final : public CacheSim {
   /// Blocks currently resident (for tests).
   std::int64_t resident_blocks() const { return size_; }
 
+  /// Heavy cross-consistency walk of the three replacement-state planes:
+  /// the recency list visits exactly size_ nodes with consistent back links
+  /// and closes on the sentinel, every resident block is findable through
+  /// the open-addressing table, and the table holds exactly size_ live
+  /// entries. O(capacity + table). Throws ContractViolation on the first
+  /// inconsistency. Audit builds (-DCCS_AUDIT=ON) run it automatically at
+  /// bulk-access and flush boundaries; tests may call it in any build.
+  void audit_invariants() const;
+
  protected:
   void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override;
 
@@ -172,6 +181,11 @@ class LruCache final : public CacheSim {
   /// across calls so a streaming all-miss phase stops paying for doomed
   /// batch probes after its first group.
   bool batch_hint_ = true;
+
+  /// Audit-mode sampling counter: a full audit_invariants() walk per bulk
+  /// call would turn O(n) runs into O(n^2), so audit builds walk every
+  /// 64th bulk boundary. Unused (but harmless) outside audit builds.
+  [[maybe_unused]] std::int64_t audit_tick_ = 0;
 };
 
 /// k-way set-associative LRU. `ways == 1` gives a direct-mapped cache.
@@ -198,6 +212,12 @@ class SetAssociativeCache final : public CacheSim {
 
   std::int32_t ways() const noexcept { return ways_; }
   std::int64_t sets() const noexcept { return num_sets_; }
+
+  /// Heavy walk of the tag/meta planes: every resident tag indexes its own
+  /// set, no set holds a duplicate tag, and no recency stamp is newer than
+  /// the current tick. Throws ContractViolation on the first inconsistency.
+  /// Audit builds run it at bulk-access and flush boundaries.
+  void audit_invariants() const;
 
  protected:
   void do_access_blocks(BlockId first, std::int64_t count, AccessMode mode) override;
@@ -229,6 +249,9 @@ class SetAssociativeCache final : public CacheSim {
   // dominates) and a line's whole state is two planes, not three.
   std::vector<BlockId> tags_;           // kEmptyTag = way is empty
   std::vector<std::uint64_t> meta_;     // (last-use tick << 1) | dirty
+
+  /// Audit-mode sampling counter (see LruCache::audit_tick_).
+  [[maybe_unused]] std::int64_t audit_tick_ = 0;
 };
 
 /// Factory helpers.

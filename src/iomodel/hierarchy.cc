@@ -55,7 +55,7 @@ void check_llc_geometry(const CacheConfig& llc, const CacheConfig& l1) {
 }  // namespace
 
 SharedLlcCache::SharedLlcCache(const CacheConfig& private_config, LruCache* llc,
-                               std::mutex* llc_mutex)
+                               Mutex* llc_mutex)
     : CacheSim(private_config.block_words),
       l1_(private_config),
       llc_(llc),

@@ -15,11 +15,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "iomodel/cache.h"
 #include "iomodel/sharded_cache.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ccs::iomodel {
 
@@ -88,7 +89,7 @@ class SharedLlcCache final : public CacheSim {
   /// `llc` and `llc_mutex` must either both be provided (and outlive this
   /// cache) or both be null; the LLC must share the private block size and
   /// be strictly larger than the private level.
-  SharedLlcCache(const CacheConfig& private_config, LruCache* llc, std::mutex* llc_mutex);
+  SharedLlcCache(const CacheConfig& private_config, LruCache* llc, Mutex* llc_mutex);
 
   /// Sharded backend: `llc` (may be null for no LLC) locks per stripe
   /// internally, so no pool-wide mutex exists at all. Same geometry
@@ -121,14 +122,14 @@ class SharedLlcCache final : public CacheSim {
     if (sharded_llc_ != nullptr) {
       sharded_llc_->access_block(block, mode);
     } else if (llc_ != nullptr) {
-      const std::lock_guard<std::mutex> lock(*llc_mutex_);
+      const MutexLock lock(*llc_mutex_);
       llc_->access_block(block, mode);
     }
   }
 
   LruCache l1_;
-  LruCache* llc_;
-  std::mutex* llc_mutex_;
+  LruCache* llc_ CCS_PT_GUARDED_BY(llc_mutex_);  ///< Pointee guarded by the pool mutex.
+  Mutex* llc_mutex_;
   ShardedLruCache* sharded_llc_ = nullptr;
 };
 

@@ -23,8 +23,18 @@ std::int64_t opt_misses(const std::vector<BlockId>& block_trace,
   }
 
   // Max-heap of (next_use, block) for resident blocks; lazily invalidated.
+  // Ties on next_use (only possible at the never-used-again sentinel n, since
+  // real next-use positions are unique) are broken toward the LOWEST block id
+  // -- the choice cannot change the miss count, but pinning it keeps the
+  // eviction sequence reproducible across stdlib heap implementations.
   using Entry = std::pair<std::size_t, BlockId>;
-  std::priority_queue<Entry> heap;
+  struct FurthestThenLowestBlock {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;  // reversed: top() prefers the lowest id
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, FurthestThenLowestBlock> heap;
   std::unordered_map<BlockId, std::size_t> resident;  // block -> its current next_use
   std::int64_t misses = 0;
 

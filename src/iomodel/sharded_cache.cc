@@ -35,7 +35,7 @@ void ShardedLruCache::do_access_blocks(BlockId first, std::int64_t count,
                                        AccessMode mode) {
   if (shards_ == 1) {
     Shard& s = shard(0);
-    const std::lock_guard<std::mutex> lock(s.mutex);
+    const MutexLock lock(s.mutex);
     s.cache.access_blocks(first, count, mode);
     return;
   }
@@ -48,7 +48,7 @@ void ShardedLruCache::do_access_blocks(BlockId first, std::int64_t count,
     BlockId b = first + ((stripe - first) & shard_mask_);
     if (b >= end) continue;
     Shard& sh = shard(s);
-    const std::lock_guard<std::mutex> lock(sh.mutex);
+    const MutexLock lock(sh.mutex);
     for (; b < end; b += shards_) sh.cache.access_block(b, mode);
   }
 }
@@ -56,7 +56,7 @@ void ShardedLruCache::do_access_blocks(BlockId first, std::int64_t count,
 void ShardedLruCache::flush() {
   for (std::int32_t s = 0; s < shards_; ++s) {
     Shard& sh = shard(s);
-    const std::lock_guard<std::mutex> lock(sh.mutex);
+    const MutexLock lock(sh.mutex);
     sh.cache.flush();
   }
 }
@@ -64,7 +64,7 @@ void ShardedLruCache::flush() {
 bool ShardedLruCache::contains(Addr addr) const {
   if (addr < 0) return false;
   const Shard& sh = shard(shard_of(block_of(addr)));
-  const std::lock_guard<std::mutex> lock(sh.mutex);
+  const MutexLock lock(sh.mutex);
   return sh.cache.contains(addr);
 }
 
@@ -72,8 +72,17 @@ const CacheStats& ShardedLruCache::stats() const {
   CacheStats sum;
   for (std::int32_t s = 0; s < shards_; ++s) {
     const Shard& sh = shard(s);
-    const std::lock_guard<std::mutex> lock(sh.mutex);
+    const MutexLock lock(sh.mutex);
     const CacheStats& part = sh.cache.stats();
+    // Audit: each stripe's counters are self-consistent and its residency
+    // fits its slice of the capacity; the aggregate is their sum by
+    // construction, so stripe-level consistency implies aggregate
+    // consistency (the shard-sum ≡ aggregate gate).
+    CCS_AUDIT(part.hits + part.misses == part.accesses,
+              "stripe hit/miss split disagrees with its access count");
+    CCS_AUDIT(sh.cache.resident_blocks() <= sh.cache.config().capacity_blocks(),
+              "stripe holds more blocks than its capacity slice");
+    CCS_AUDIT_BLOCK(sh.cache.audit_invariants(););
     sum.accesses += part.accesses;
     sum.hits += part.hits;
     sum.misses += part.misses;
@@ -92,7 +101,7 @@ std::int64_t ShardedLruCache::resident_blocks() const {
   std::int64_t total = 0;
   for (std::int32_t s = 0; s < shards_; ++s) {
     const Shard& sh = shard(s);
-    const std::lock_guard<std::mutex> lock(sh.mutex);
+    const MutexLock lock(sh.mutex);
     total += sh.cache.resident_blocks();
   }
   return total;

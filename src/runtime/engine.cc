@@ -240,6 +240,7 @@ void Engine::fire_unchecked(sdf::NodeId v) {
   if (options_.per_node_attribution) {
     node_miss_base_[static_cast<std::size_t>(v)] += stats.misses - miss_before;
   }
+  CCS_AUDIT_BLOCK(if ((++audit_tick_ & 63) == 0) audit_invariants(););
 }
 
 RunResult Engine::delta_counters() const {
@@ -270,6 +271,50 @@ void Engine::advance_baselines() {
   node_miss_base_.assign(node_miss_base_.size(), 0);
 }
 
+void Engine::audit_invariants() const {
+  // Channel plane: token counts must stay inside [0, capacity]; anything
+  // else means a firing moved tokens past the feasibility check.
+  for (const Channel& c : channels_) {
+    CCS_CHECK(c.size() >= 0, "channel token count went negative");
+    CCS_CHECK(c.size() <= c.capacity(), "channel holds more tokens than its capacity");
+  }
+  // Credit plane: consuming credit below zero means a source firing slipped
+  // past the metering gate (can_fire/try_fire/validate_sequence).
+  CCS_CHECK(input_credit_ >= 0 || input_credit_ == kUnlimitedCredit,
+            "external input credit went negative");
+  // Firing-plan plane: every plan's port spans must be well-formed windows
+  // into the flattened port arrays, and every port must name a real channel
+  // with a positive rate -- fire_unchecked indexes through these with no
+  // bounds checks of its own.
+  const auto in_count = static_cast<std::int32_t>(in_ports_.size());
+  const auto out_count = static_cast<std::int32_t>(out_ports_.size());
+  for (const FiringPlan& plan : plans_) {
+    CCS_CHECK(plan.in_begin >= 0 && plan.in_begin <= plan.in_end && plan.in_end <= in_count,
+              "firing plan input span outside the flattened port array");
+    CCS_CHECK(plan.out_begin >= 0 && plan.out_begin <= plan.out_end &&
+                  plan.out_end <= out_count,
+              "firing plan output span outside the flattened port array");
+    CCS_CHECK(plan.state.words >= 0, "firing plan names a negative-size state region");
+  }
+  const auto channel_count = static_cast<std::int32_t>(channels_.size());
+  for (const Port& p : in_ports_) {
+    CCS_CHECK(p.channel >= 0 && p.channel < channel_count,
+              "input port names a channel outside the engine");
+    CCS_CHECK(p.rate > 0, "input port rate must be positive");
+  }
+  for (const Port& p : out_ports_) {
+    CCS_CHECK(p.channel >= 0 && p.channel < channel_count,
+              "output port names a channel outside the engine");
+    CCS_CHECK(p.rate > 0, "output port rate must be positive");
+  }
+  // Counter plane: classified misses and per-kind firing tallies can never
+  // exceed the totals they partition.
+  CCS_CHECK(total_firings_ >= source_firings_ && total_firings_ >= sink_firings_,
+            "per-kind firing tally exceeds the total firing count");
+  CCS_CHECK(state_misses_ >= 0 && channel_misses_ >= 0 && io_misses_ >= 0,
+            "classified miss counter went negative");
+}
+
 RunResult Engine::snapshot() const { return delta_counters(); }
 
 FootprintSample Engine::footprint_sample() const noexcept {
@@ -282,6 +327,7 @@ FootprintSample Engine::footprint_sample() const noexcept {
 }
 
 RunResult Engine::take() {
+  CCS_AUDIT_BLOCK(audit_invariants(););
   RunResult result = delta_counters();
   advance_baselines();
   return result;

@@ -266,6 +266,16 @@ class Engine {
                            layout_.footprint() - options_.address_base};
   }
 
+  /// Heavy cross-consistency walk of the execution state: every channel's
+  /// token count within [0, capacity], the input credit non-negative (or
+  /// the unlimited sentinel), every firing plan's port spans within the
+  /// flattened port arrays with each port naming a real channel, and the
+  /// firing/miss tallies internally consistent. Throws ContractViolation on
+  /// the first inconsistency. Audit builds (-DCCS_AUDIT=ON) run it at
+  /// run()/take() boundaries and sampled firing boundaries; tests may call
+  /// it in any build.
+  void audit_invariants() const;
+
  private:
   /// One side of a module's channel connections, flattened for the hot
   /// loop. `channel` doubles as the EdgeId (channels_ is indexed by edge).
@@ -364,6 +374,11 @@ class Engine {
   std::int64_t last_state_misses_ = 0;
   std::int64_t last_channel_misses_ = 0;
   std::int64_t last_io_misses_ = 0;
+
+  /// Audit-mode sampling counter: a full audit_invariants() walk per firing
+  /// would turn O(n) runs into O(n^2), so audit builds walk every 64th
+  /// firing plus every run/take boundary. Unused outside audit builds.
+  [[maybe_unused]] std::int64_t audit_tick_ = 0;
 };
 
 }  // namespace ccs::runtime

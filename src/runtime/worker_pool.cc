@@ -58,7 +58,11 @@ const iomodel::SharedLlcCache& WorkerPool::worker_cache(std::int32_t w) const {
 
 const iomodel::CacheStats& WorkerPool::llc_stats() const {
   CCS_EXPECTS(has_llc(), "pool has no shared LLC");
-  return sharded_llc_ != nullptr ? sharded_llc_->stats() : llc_->stats();
+  if (sharded_llc_ != nullptr) return sharded_llc_->stats();
+  // The flat backend's counters live inside the mutex-guarded cache; take
+  // the lock for the read so a stats poll never races an in-flight probe.
+  const MutexLock lock(llc_mutex_);
+  return llc_->stats();
 }
 
 std::int64_t WorkerPool::resident_blocks(std::int32_t w, const iomodel::Region& region) const {

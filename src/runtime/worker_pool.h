@@ -25,12 +25,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "iomodel/cache.h"
 #include "iomodel/hierarchy.h"
 #include "iomodel/layout.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ccs::runtime {
 
@@ -104,9 +105,11 @@ class WorkerPool {
 
  private:
   WorkerPoolOptions options_;
-  std::unique_ptr<iomodel::LruCache> llc_;  ///< Single-mutex backend (llc_shards == 0).
-  std::mutex llc_mutex_;
-  std::unique_ptr<iomodel::ShardedLruCache> sharded_llc_;  ///< Striped backend.
+  /// Single-mutex backend (llc_shards == 0): the pointee -- not the pointer,
+  /// which is set once at construction -- is guarded by llc_mutex_.
+  std::unique_ptr<iomodel::LruCache> llc_ CCS_PT_GUARDED_BY(llc_mutex_);
+  mutable Mutex llc_mutex_;
+  std::unique_ptr<iomodel::ShardedLruCache> sharded_llc_;  ///< Striped backend (locks per stripe).
   std::vector<std::unique_ptr<iomodel::SharedLlcCache>> workers_;
 };
 

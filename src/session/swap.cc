@@ -57,7 +57,11 @@ class Reader {
         throw Error("corrupt swap image: truncated varint");
       }
       const std::uint8_t b = (*bytes_)[pos_++];
-      if (shift >= 63 && (b & 0x7E) != 0) {
+      // shift == 63 may only carry the top bit; shift >= 64 means an 11th
+      // byte, which no 64-bit value produces. The >= 64 arm also stops a
+      // zero-payload continuation byte (0x80) at shift 63 from reaching an
+      // undefined shift-by-70 (found by UBSan's bit-flip sweep).
+      if (shift >= 64 || (shift == 63 && (b & 0x7E) != 0)) {
         throw Error("corrupt swap image: varint overflows 64 bits");
       }
       v |= static_cast<std::uint64_t>(b & 0x7F) << shift;

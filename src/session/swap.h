@@ -58,6 +58,14 @@ class SwapImage {
   /// image is truncated, has trailing bytes, or fails validation.
   SessionSnapshot unpack() const;
 
+  /// Wraps raw bytes (a persisted or transported image) without validation;
+  /// unpack() performs the full validation. Inverse of bytes().
+  static SwapImage from_bytes(std::vector<std::uint8_t> bytes) {
+    SwapImage image;
+    image.bytes_ = std::move(bytes);
+    return image;
+  }
+
   std::int64_t size_bytes() const noexcept {
     return static_cast<std::int64_t>(bytes_.size());
   }
@@ -70,6 +78,12 @@ class SwapImage {
 /// LRU-of-resident-sessions eviction policy plus the swapped-image store.
 /// Keys are opaque (the serving layer's TenantId). Deterministic: victim
 /// selection depends only on the sequence of admit/touch/swap calls.
+///
+/// Thread-compatibility: deliberately NOT internally synchronized (no
+/// mutex, so nothing here carries thread-safety annotations). The serving
+/// layers drive it only from the controlling thread at quiescent points --
+/// between run/take windows, never while worker threads are firing -- the
+/// same confinement discipline as Engine::save_state/restore_state.
 class SwapManager {
  public:
   using SessionKey = std::int64_t;

@@ -1,0 +1,76 @@
+// Runtime contract checking (C++ Core Guidelines I.6 / I.8 style) plus the
+// heavy-audit layer behind the repo's correctness-tooling matrix.
+//
+// Always-on macros (enabled in every build type, including Release -- this
+// library is a research artifact whose correctness claims matter more than
+// the last few percent of simulator throughput):
+//   CCS_EXPECTS(cond, msg)  -- precondition at an API boundary
+//   CCS_ENSURES(cond, msg)  -- postcondition at an API boundary
+//   CCS_CHECK(cond, msg)    -- internal invariant
+//   CCS_ASSERT(cond, msg)   -- cheap (O(1)) sanity check on a hot path
+//
+// CCS_ASSERT is for checks cheap enough to keep in the hottest loops: a
+// bounds comparison, a sign check. Anything that walks a data structure
+// belongs in CCS_AUDIT instead.
+//
+// Audit-mode macros (compiled in only when the build enables
+// -DCCS_AUDIT=ON, which defines CCS_AUDIT_ENABLED):
+//   CCS_AUDIT(cond, msg)    -- heavy invariant, e.g. an O(n) structure walk
+//   CCS_AUDIT_BLOCK(stmts)  -- statement block that exists only under audit,
+//                              for walks that need locals or loops
+//   ccs::kAuditEnabled      -- constexpr flag for `if constexpr` gating
+//
+// Audit checks cross-validate whole structures: the LRU slab/table/recency
+// planes agree, a sharded cache's per-stripe counters are self-consistent,
+// an engine's channel credits never go negative, a swap image unpacks back
+// to the exact snapshot that was packed. The Audit CI configuration runs
+// the full test suite with every heavy check live; production builds pay
+// nothing for them.
+//
+// All failures throw ccs::ContractViolation naming the kind, condition,
+// and location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ccs {
+
+/// Thrown when a CCS_EXPECTS / CCS_ENSURES / CCS_CHECK / CCS_ASSERT /
+/// CCS_AUDIT contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* cond, const char* file,
+                                int line, const std::string& msg);
+}  // namespace detail
+
+#define CCS_CONTRACT_IMPL(kind, cond, msg)                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::ccs::detail::contract_fail(kind, #cond, __FILE__, __LINE__, (msg));  \
+    }                                                                        \
+  } while (false)
+
+#define CCS_EXPECTS(cond, msg) CCS_CONTRACT_IMPL("precondition", cond, msg)
+#define CCS_ENSURES(cond, msg) CCS_CONTRACT_IMPL("postcondition", cond, msg)
+#define CCS_CHECK(cond, msg) CCS_CONTRACT_IMPL("invariant", cond, msg)
+#define CCS_ASSERT(cond, msg) CCS_CONTRACT_IMPL("assertion", cond, msg)
+
+#ifdef CCS_AUDIT_ENABLED
+inline constexpr bool kAuditEnabled = true;
+#define CCS_AUDIT(cond, msg) CCS_CONTRACT_IMPL("audit", cond, msg)
+#define CCS_AUDIT_BLOCK(...) \
+  do {                       \
+    __VA_ARGS__              \
+  } while (false)
+#else
+inline constexpr bool kAuditEnabled = false;
+#define CCS_AUDIT(cond, msg) ((void)0)
+#define CCS_AUDIT_BLOCK(...) ((void)0)
+#endif
+
+}  // namespace ccs

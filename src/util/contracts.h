@@ -1,48 +1,6 @@
-// Runtime contract checking (C++ Core Guidelines I.6 / I.8 style).
-//
-// The library uses three macros:
-//   CCS_EXPECTS(cond, msg)  -- precondition at an API boundary
-//   CCS_ENSURES(cond, msg)  -- postcondition at an API boundary
-//   CCS_CHECK(cond, msg)    -- internal invariant
-//
-// All three throw ccs::ContractViolation on failure. Contracts stay enabled
-// in release builds: this library is a research artifact whose correctness
-// claims matter more than the last few percent of simulator throughput. Hot
-// loops that have been profiled may use CCS_ASSERT, which compiles away in
-// NDEBUG builds.
+// Compatibility shim: the contract layer moved to util/contract.h when the
+// audit mode (CCS_AUDIT) was added. Existing includes keep working; new code
+// should include "util/contract.h" directly.
 #pragma once
 
-#include <stdexcept>
-#include <string>
-
-namespace ccs {
-
-/// Thrown when a CCS_EXPECTS / CCS_ENSURES / CCS_CHECK contract fails.
-class ContractViolation : public std::logic_error {
- public:
-  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
-};
-
-namespace detail {
-[[noreturn]] void contract_fail(const char* kind, const char* cond, const char* file,
-                                int line, const std::string& msg);
-}  // namespace detail
-
-#define CCS_CONTRACT_IMPL(kind, cond, msg)                                   \
-  do {                                                                       \
-    if (!(cond)) {                                                           \
-      ::ccs::detail::contract_fail(kind, #cond, __FILE__, __LINE__, (msg));  \
-    }                                                                        \
-  } while (false)
-
-#define CCS_EXPECTS(cond, msg) CCS_CONTRACT_IMPL("precondition", cond, msg)
-#define CCS_ENSURES(cond, msg) CCS_CONTRACT_IMPL("postcondition", cond, msg)
-#define CCS_CHECK(cond, msg) CCS_CONTRACT_IMPL("invariant", cond, msg)
-
-#ifdef NDEBUG
-#define CCS_ASSERT(cond, msg) ((void)0)
-#else
-#define CCS_ASSERT(cond, msg) CCS_CONTRACT_IMPL("assertion", cond, msg)
-#endif
-
-}  // namespace ccs
+#include "util/contract.h"

@@ -1,0 +1,46 @@
+// Annotated mutex wrappers for clang thread-safety analysis.
+//
+// std::mutex from libstdc++ carries no capability attribute, so code that
+// wants -Wthread-safety coverage wraps it: ccs::Mutex is a std::mutex
+// declared as a CCS_CAPABILITY and ccs::MutexLock is the corresponding
+// scoped lock. Both compile to exactly the std:: equivalents (every method
+// is a one-line inline forward), so converting a class from std::mutex /
+// std::lock_guard to Mutex / MutexLock changes nothing at runtime -- it
+// only turns lock misuse into a compile error on clang.
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace ccs {
+
+/// std::mutex as a thread-safety-analysis capability.
+class CCS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CCS_ACQUIRE() { m_.lock(); }
+  void unlock() CCS_RELEASE() { m_.unlock(); }
+  bool try_lock() CCS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard over a ccs::Mutex, visible to the analysis.
+class CCS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CCS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CCS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace ccs

@@ -12,15 +12,18 @@
 // Thread safety: add/contains/find/keys serialize on an internal mutex, so
 // concurrent lookups (Experiment workers) and registrations never race.
 // Entries are returned by value; invoking a retrieved strategy does not hold
-// the lock, so strategies may themselves consult the registry.
+// the lock, so strategies may themselves consult the registry. The mutex is
+// an annotated ccs::Mutex, so clang's -Wthread-safety proves every touch of
+// the entry map happens under the lock.
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/error.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ccs {
 
@@ -43,7 +46,7 @@ class NamedRegistry {
   /// or initialization bug; callers wanting replacement must pick new keys).
   void add(const std::string& name, Entry entry) {
     if (name.empty()) throw Error("cannot register a " + kind_ + " with an empty name");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     if (entries_.count(name) > 0) {
       throw Error(kind_ + " '" + name + "' is already registered" + known_keys_suffix());
     }
@@ -52,7 +55,7 @@ class NamedRegistry {
 
   /// True iff `name` is registered.
   bool contains(const std::string& name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return entries_.count(name) > 0;
   }
 
@@ -60,7 +63,7 @@ class NamedRegistry {
   /// every valid key when the name is unknown, so callers (CLI flags, sweep
   /// specs) can surface an actionable message verbatim.
   Entry find(const std::string& name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = entries_.find(name);
     if (it == entries_.end()) {
       throw Error("unknown " + kind_ + " '" + name + "'" + known_keys_suffix());
@@ -70,7 +73,7 @@ class NamedRegistry {
 
   /// All registered keys in sorted order.
   std::vector<std::string> keys() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto& [name, entry] : entries_) out.push_back(name);
@@ -79,13 +82,12 @@ class NamedRegistry {
 
   /// Number of registered entries.
   std::size_t size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return entries_.size();
   }
 
  private:
-  // Callers must hold mutex_.
-  std::string known_keys_suffix() const {
+  std::string known_keys_suffix() const CCS_REQUIRES(mutex_) {
     if (entries_.empty()) return "; no " + plural_ + " are registered";
     std::string out = "; valid " + plural_ + ":";
     for (const auto& [name, entry] : entries_) out += " " + name;
@@ -94,8 +96,8 @@ class NamedRegistry {
 
   std::string kind_;
   std::string plural_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ CCS_GUARDED_BY(mutex_);
 };
 
 }  // namespace ccs

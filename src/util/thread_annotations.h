@@ -1,0 +1,52 @@
+// Clang thread-safety-analysis annotations (-Wthread-safety), no-ops on
+// other compilers.
+//
+// The repo's determinism gates (repeat-run, thread ≡ virtual, swap ≡
+// no-swap) all assume the C++ is free of data races. These macros make the
+// locking discipline machine-checkable: every mutex is declared a
+// capability, every piece of state it protects carries CCS_GUARDED_BY, and
+// functions that must be called with a lock held say so with CCS_REQUIRES.
+// Clang then rejects -- at compile time, as an error in CI -- any access to
+// guarded state without the guarding lock.
+//
+// libstdc++'s std::mutex is not annotated as a capability, so annotated
+// code uses the zero-cost ccs::Mutex / ccs::MutexLock wrappers from
+// util/mutex.h instead; the analysis understands those. Conventions:
+//
+//   ccs::Mutex mu_;
+//   State state_ CCS_GUARDED_BY(mu_);        // member data
+//   Cache* cache_ CCS_PT_GUARDED_BY(mu_);    // pointee guarded, not pointer
+//   void helper() CCS_REQUIRES(mu_);         // caller must hold mu_
+//   void api() CCS_EXCLUDES(mu_);            // caller must NOT hold mu_
+//
+// A function that intentionally breaks the discipline (e.g. a documented
+// quiescent-point read from the controlling thread) carries
+// CCS_NO_THREAD_SAFETY_ANALYSIS with a comment justifying it.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CCS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CCS_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define CCS_CAPABILITY(x) CCS_THREAD_ANNOTATION(capability(x))
+#define CCS_SCOPED_CAPABILITY CCS_THREAD_ANNOTATION(scoped_lockable)
+#define CCS_GUARDED_BY(x) CCS_THREAD_ANNOTATION(guarded_by(x))
+#define CCS_PT_GUARDED_BY(x) CCS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CCS_ACQUIRED_BEFORE(...) CCS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CCS_ACQUIRED_AFTER(...) CCS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define CCS_REQUIRES(...) CCS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CCS_REQUIRES_SHARED(...) \
+  CCS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define CCS_ACQUIRE(...) CCS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CCS_ACQUIRE_SHARED(...) \
+  CCS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define CCS_RELEASE(...) CCS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CCS_RELEASE_SHARED(...) \
+  CCS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define CCS_TRY_ACQUIRE(...) CCS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CCS_EXCLUDES(...) CCS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CCS_ASSERT_CAPABILITY(x) CCS_THREAD_ANNOTATION(assert_capability(x))
+#define CCS_RETURN_CAPABILITY(x) CCS_THREAD_ANNOTATION(lock_returned(x))
+#define CCS_NO_THREAD_SAFETY_ANALYSIS CCS_THREAD_ANNOTATION(no_thread_safety_analysis)

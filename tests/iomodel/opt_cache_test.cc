@@ -51,6 +51,28 @@ TEST(OptCache, SleatorTarjanResourceAugmentation) {
             2.0 * static_cast<double>(opt) + 2.0 * static_cast<double>(k));
 }
 
+TEST(OptCache, TieBreakOnNeverUsedAgainIsDeterministic) {
+  // Blocks 1..4 are all never used again once block 5 arrives, so every
+  // eviction decision from then on is a pure tie on next_use == n. The
+  // tie-break (lowest block id first) cannot change the miss count -- any
+  // Belady tie-break is optimal -- but the count must be exact and stable:
+  // 4 cold misses + one miss each for 5, 6, 7.
+  const std::vector<BlockId> trace{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(opt_misses(trace, 4), 7);
+
+  // Interleaved ties: 10 and 20 are dead after position 1, 30 keeps its next
+  // use at position 4. OPT must evict a dead block (not 30) on the miss of
+  // 40, so 30's reuse at position 4 hits: misses are exactly the 4 distinct
+  // blocks. A wrong tie-break that evicted 30 would score 5.
+  const std::vector<BlockId> reuse{10, 20, 30, 40, 30};
+  EXPECT_EQ(opt_misses(reuse, 3), 4);
+
+  // Same trace, both orders of the dead blocks: the tie-break must not
+  // depend on insertion order into the heap.
+  const std::vector<BlockId> swapped{20, 10, 30, 40, 30};
+  EXPECT_EQ(opt_misses(swapped, 3), 4);
+}
+
 TEST(ToBlockTrace, DividesByBlockSize) {
   const auto blocks = to_block_trace({0, 7, 8, 15, 16}, 8);
   EXPECT_EQ(blocks, (std::vector<BlockId>{0, 0, 1, 1, 2}));

@@ -1,0 +1,23 @@
+// Fixture: allowlist markers must suppress findings (same line and the line
+// directly above), and an unrelated rule name must NOT suppress.
+#include <chrono>
+#include <cstdlib>
+
+double allowed_same_line() {
+  const auto t0 = std::chrono::steady_clock::now();  // ccs-lint: allow(wall-clock)
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+double allowed_line_above() {
+  // ccs-lint: allow(wall-clock)
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+int allowed_multi() {
+  return std::rand();  // ccs-lint: allow(raw-rand, wall-clock)
+}
+
+int wrong_rule_does_not_suppress() {
+  return std::rand();  // ccs-lint: allow(wall-clock)  LINT-EXPECT(raw-rand)
+}

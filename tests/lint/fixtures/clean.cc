@@ -1,0 +1,22 @@
+// Fixture: idiomatic deterministic simulator code; zero findings expected.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+// Serialized snapshot done right: every scalar initialized.
+struct GoodSnapshot {
+  std::vector<std::int64_t> counts;
+  std::int64_t steps = 0;
+  double rate = 0.0;
+};
+
+std::int64_t sum_ordered(const std::map<int, std::int64_t>& m) {
+  std::int64_t sum = 0;
+  for (const auto& [k, v] : m) sum += v;
+  return sum;
+}
+
+bool member(const std::unordered_map<int, int>& index, int key) {
+  return index.find(key) != index.end();  // point lookup, no walk
+}

@@ -1,0 +1,22 @@
+// Fixture: ordering/hashing by pointer value must be flagged.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_set>
+
+struct Node {
+  int id = 0;
+};
+
+using BadOrdered = std::map<Node*, int, std::less<Node*>>;  // LINT-EXPECT(pointer-order)
+
+std::size_t bad_hash(Node* n) {
+  return std::hash<Node*>{}(n);  // LINT-EXPECT(pointer-order)
+}
+
+std::uint64_t bad_key(Node* n) {
+  return reinterpret_cast<std::uintptr_t>(n);  // LINT-EXPECT(pointer-order)
+}
+
+// Ordering by a stable field through the pointer is fine.
+bool good_compare(const Node* a, const Node* b) { return a->id < b->id; }

@@ -1,0 +1,13 @@
+// Fixture: fresh-entropy seeding must be flagged.
+#include <random>
+
+unsigned bad_seed() {
+  std::random_device rd;  // LINT-EXPECT(random-device)
+  return rd();
+}
+
+// Deterministic seeding is the approved pattern and must NOT be flagged.
+unsigned good_seed() {
+  std::mt19937_64 rng(12345);
+  return static_cast<unsigned>(rng());
+}

@@ -1,0 +1,17 @@
+// Fixture: unseedable global RNG state must be flagged.
+#include <cstdlib>
+
+void seed_it(unsigned s) {
+  srand(s);  // LINT-EXPECT(raw-rand)
+}
+
+int bad_draw() {
+  return std::rand();  // LINT-EXPECT(raw-rand)
+}
+
+int bare_draw() {
+  return rand();  // LINT-EXPECT(raw-rand)
+}
+
+// A local function whose name merely contains "rand" must NOT be flagged.
+int spread_operand(int operand) { return operand + 1; }

@@ -1,0 +1,17 @@
+// Fixture: scalar members of serialized structs need initializers.
+#include <cstdint>
+#include <vector>
+
+// Packed into a compact byte image by the swap-tier codec (serialized).
+struct BadSnapshot {
+  std::vector<std::int64_t> counts;  // containers default-construct: fine
+  std::int64_t steps;       // LINT-EXPECT(uninit-serialized)
+  double rate;              // LINT-EXPECT(uninit-serialized)
+  bool live = false;        // initialized: fine
+};
+
+// Same shape but purely in-memory scratch state; must NOT be flagged.
+struct ScratchState {
+  std::int64_t cursor;
+  double weight;
+};

@@ -1,0 +1,27 @@
+// Fixture: iterating unordered containers must be flagged; point lookups and
+// ordered-container iteration must not.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+long bad_walks() {
+  std::unordered_map<int, long> weights;
+  std::unordered_set<int> members;
+  long sum = 0;
+  for (const auto& [k, v] : weights) sum += v;  // LINT-EXPECT(unordered-iteration)
+  for (const int m : members) sum += m;         // LINT-EXPECT(unordered-iteration)
+  sum += std::count(members.begin(), members.end(), 3);  // LINT-EXPECT(unordered-iteration)
+  return sum;
+}
+
+long good_uses() {
+  std::unordered_map<int, long> weights;
+  std::map<int, long> ordered;
+  std::vector<int> dense;
+  long sum = weights.count(7) != 0 ? weights.at(7) : 0;  // point lookup: fine
+  for (const auto& [k, v] : ordered) sum += v;           // ordered walk: fine
+  for (const int d : dense) sum += d;                    // vector walk: fine
+  return sum;
+}

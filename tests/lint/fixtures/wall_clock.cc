@@ -1,0 +1,17 @@
+// Fixture: every clock read must be flagged.
+#include <chrono>
+#include <ctime>
+
+double bad_steady() {
+  const auto t0 = std::chrono::steady_clock::now();  // LINT-EXPECT(wall-clock)
+  const auto t1 = std::chrono::system_clock::now();  // LINT-EXPECT(wall-clock)
+  const auto t2 =
+      std::chrono::high_resolution_clock::now();  // LINT-EXPECT(wall-clock)
+  (void)t1;
+  (void)t2;
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+long bad_ctime() {
+  return std::time(nullptr);  // LINT-EXPECT(wall-clock)
+}

@@ -1,0 +1,146 @@
+// Error-path coverage for the SwapImage codec: every malformed byte stream
+// must be rejected with a recoverable ccs::Error (never UB, never a silent
+// wrong snapshot) -- the swap tier trusts unpack() as its only validation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "session/swap.h"
+#include "util/error.h"
+
+namespace ccs::session {
+namespace {
+
+SessionSnapshot representative_snapshot() {
+  SessionSnapshot s;
+  s.engine.channel_heads = {0, 3, 17, 1024};
+  s.engine.channel_sizes = {2, 0, 5, 900};
+  s.engine.fired = {10, 20, 30};
+  s.engine.input_credit = runtime::Engine::kUnlimitedCredit;  // 10-byte varint
+  s.engine.external_in_cursor = 123456;
+  s.engine.external_out_cursor = 654321;
+  s.engine.source_firings = 10;
+  s.engine.sink_firings = 9;
+  s.engine.total_firings = 60;
+  s.engine.state_misses = 7;
+  s.engine.channel_misses = 8;
+  s.engine.io_misses = 3;
+  s.totals.cache.accesses = 100000;
+  s.totals.cache.hits = 90000;
+  s.totals.cache.misses = 10000;
+  s.totals.cache.writebacks = 42;
+  s.totals.firings = 60;
+  s.totals.source_firings = 10;
+  s.totals.sink_firings = 9;
+  s.totals.state_misses = 7;
+  s.totals.channel_misses = 8;
+  s.totals.io_misses = 3;
+  s.totals.node_misses = {1, 2, 3};
+  s.steps = 17;
+  return s;
+}
+
+void append_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+TEST(SwapImageCodec, RoundTripIsExactAndDeterministic) {
+  const SessionSnapshot snapshot = representative_snapshot();
+  const SwapImage a = SwapImage::pack(snapshot);
+  const SwapImage b = SwapImage::pack(snapshot);
+  EXPECT_EQ(a.bytes(), b.bytes());  // equal snapshots -> byte-identical images
+  EXPECT_EQ(a.unpack(), snapshot);
+  EXPECT_EQ(SwapImage::from_bytes(a.bytes()).unpack(), snapshot);
+}
+
+TEST(SwapImageCodec, EveryTruncationThrows) {
+  const SwapImage image = SwapImage::pack(representative_snapshot());
+  const std::vector<std::uint8_t>& bytes = image.bytes();
+  ASSERT_GT(bytes.size(), 0u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const SwapImage cut = SwapImage::from_bytes(
+        std::vector<std::uint8_t>(bytes.begin(), bytes.begin() + len));
+    EXPECT_THROW((void)cut.unpack(), Error) << "prefix length " << len;
+  }
+}
+
+TEST(SwapImageCodec, TrailingBytesThrow) {
+  const SwapImage image = SwapImage::pack(representative_snapshot());
+  std::vector<std::uint8_t> padded = image.bytes();
+  padded.push_back(0);
+  EXPECT_THROW((void)SwapImage::from_bytes(padded).unpack(), Error);
+}
+
+TEST(SwapImageCodec, BadMagicThrows) {
+  std::vector<std::uint8_t> bytes = SwapImage::pack(representative_snapshot()).bytes();
+  bytes[0] ^= 0x01;
+  EXPECT_THROW((void)SwapImage::from_bytes(bytes).unpack(), Error);
+}
+
+TEST(SwapImageCodec, UnsupportedVersionThrows) {
+  std::vector<std::uint8_t> bytes;
+  append_uvarint(bytes, 0xCC5);  // correct magic
+  append_uvarint(bytes, 99);     // future version
+  EXPECT_THROW((void)SwapImage::from_bytes(bytes).unpack(), Error);
+}
+
+TEST(SwapImageCodec, ImplausibleVectorLengthThrowsBeforeAllocating) {
+  std::vector<std::uint8_t> bytes;
+  append_uvarint(bytes, 0xCC5);
+  append_uvarint(bytes, 1);
+  // Channel count claiming 2^40 entries: must be rejected by the
+  // plausibility cap, not die attempting a petabyte reserve.
+  append_uvarint(bytes, std::uint64_t{1} << 40);
+  EXPECT_THROW((void)SwapImage::from_bytes(bytes).unpack(), Error);
+}
+
+TEST(SwapImageCodec, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bytes;
+  append_uvarint(bytes, 0xCC5);
+  // A varint whose continuation bytes push past 64 bits of payload.
+  for (int i = 0; i < 10; ++i) bytes.push_back(0xFF);
+  bytes.push_back(0x7F);
+  EXPECT_THROW((void)SwapImage::from_bytes(bytes).unpack(), Error);
+}
+
+TEST(SwapImageCodec, BitFlipsNeverYieldTheOriginalSnapshot) {
+  // Exhaustive single-bit-flip sweep: each corrupted image must either be
+  // rejected or decode to a visibly different snapshot. Decoding "success"
+  // back to the original would mean the flipped bit carried no information
+  // and corruption could pass unnoticed.
+  const SessionSnapshot snapshot = representative_snapshot();
+  const SwapImage image = SwapImage::pack(snapshot);
+  int rejected = 0;
+  int altered = 0;
+  for (std::size_t byte = 0; byte < image.bytes().size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> bytes = image.bytes();
+      bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        const SessionSnapshot decoded = SwapImage::from_bytes(bytes).unpack();
+        EXPECT_FALSE(decoded == snapshot)
+            << "flipping byte " << byte << " bit " << bit << " was undetectable";
+        ++altered;
+      } catch (const Error&) {
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(altered, 0);
+}
+
+TEST(SwapManagerErrors, SwapInOfUnknownKeyThrows) {
+  SwapManager mgr;
+  EXPECT_THROW((void)mgr.swap_in(7), Error);
+  mgr.admit(7);
+  EXPECT_THROW((void)mgr.swap_in(7), Error);  // resident, not swapped
+}
+
+}  // namespace
+}  // namespace ccs::session

@@ -1,0 +1,116 @@
+#include "util/contract.h"
+
+#include <gtest/gtest.h>
+
+#include "iomodel/cache.h"
+#include "runtime/engine.h"
+#include "sdf/graph.h"
+#include "util/rng.h"
+
+namespace ccs {
+namespace {
+
+TEST(Contract, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(CCS_EXPECTS(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(CCS_ENSURES(true, "trivially true"));
+  EXPECT_NO_THROW(CCS_CHECK(42 > 0, "positive"));
+  EXPECT_NO_THROW(CCS_ASSERT(true, "cheap check"));
+}
+
+TEST(Contract, FailuresThrowContractViolation) {
+  EXPECT_THROW(CCS_EXPECTS(false, "boom"), ContractViolation);
+  EXPECT_THROW(CCS_ENSURES(false, "boom"), ContractViolation);
+  EXPECT_THROW(CCS_CHECK(false, "boom"), ContractViolation);
+  EXPECT_THROW(CCS_ASSERT(false, "boom"), ContractViolation);
+}
+
+TEST(Contract, MessageNamesKindConditionAndLocation) {
+  try {
+    CCS_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "CCS_CHECK(false) must throw";
+  } catch (const ContractViolation& v) {
+    const std::string what = v.what();
+    EXPECT_NE(what.find("invariant"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos) << what;
+    EXPECT_NE(what.find("contract_test.cc"), std::string::npos) << what;
+  }
+}
+
+TEST(Contract, AssertIsAlwaysOnEvenInReleaseBuilds) {
+  // The hot-path assertion layer is deliberately not tied to NDEBUG: this
+  // test fails in any build configuration where CCS_ASSERT compiles away.
+  bool evaluated = false;
+  const auto probe = [&evaluated]() {
+    evaluated = true;
+    return true;
+  };
+  CCS_ASSERT(probe(), "side effect must run");
+  EXPECT_TRUE(evaluated);
+}
+
+TEST(Contract, AuditMacrosMatchTheBuildFlag) {
+  if constexpr (kAuditEnabled) {
+    EXPECT_THROW(CCS_AUDIT(false, "audit fires in audit builds"), ContractViolation);
+    bool ran = false;
+    CCS_AUDIT_BLOCK(ran = true;);
+    EXPECT_TRUE(ran);
+  } else {
+    // Outside audit builds the macros compile to nothing: the condition is
+    // not even evaluated.
+    EXPECT_NO_THROW(CCS_AUDIT(false, "compiled away"));
+    bool ran = false;
+    CCS_AUDIT_BLOCK(ran = true;);
+    EXPECT_FALSE(ran);
+  }
+}
+
+TEST(AuditWalk, LruCachePassesAfterMixedTraffic) {
+  iomodel::LruCache cache(iomodel::CacheConfig{8 * 16, 16});
+  EXPECT_NO_THROW(cache.audit_invariants());  // empty cache is consistent
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto mode = rng.uniform(0, 1) == 0 ? iomodel::AccessMode::kRead
+                                             : iomodel::AccessMode::kWrite;
+    cache.access(rng.uniform(0, 40) * 16 + rng.uniform(0, 15), mode);
+  }
+  EXPECT_NO_THROW(cache.audit_invariants());
+  cache.flush();
+  EXPECT_NO_THROW(cache.audit_invariants());
+}
+
+TEST(AuditWalk, SetAssociativeCachePassesAfterMixedTraffic) {
+  iomodel::SetAssociativeCache cache(iomodel::CacheConfig{16 * 16, 16}, 4);
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const auto mode = rng.uniform(0, 1) == 0 ? iomodel::AccessMode::kRead
+                                             : iomodel::AccessMode::kWrite;
+    cache.access(rng.uniform(0, 60) * 16 + rng.uniform(0, 15), mode);
+  }
+  EXPECT_NO_THROW(cache.audit_invariants());
+  cache.flush();
+  EXPECT_NO_THROW(cache.audit_invariants());
+}
+
+TEST(AuditWalk, EnginePassesAcrossRunBoundaries) {
+  sdf::SdfGraph g;
+  const auto src = g.add_node("src", 4);
+  const auto mid = g.add_node("mid", 8);
+  const auto snk = g.add_node("snk", 4);
+  g.add_edge(src, mid, 2, 1);
+  g.add_edge(mid, snk, 1, 2);
+  const auto cache = iomodel::make_lru(64 * 16, 16);
+  runtime::Engine engine(g, {4, 4}, *cache);
+  EXPECT_NO_THROW(engine.audit_invariants());
+  for (int round = 0; round < 8; ++round) {
+    engine.fire(src);
+    engine.fire(mid);
+    engine.fire(mid);
+    engine.fire(snk);
+    (void)engine.take();
+    EXPECT_NO_THROW(engine.audit_invariants());
+  }
+}
+
+}  // namespace
+}  // namespace ccs

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Determinism lint for the ccs source tree.
+
+The repo's differential tests (bulk-vs-scalar cache equivalence, threads-vs-
+sequential cluster determinism, swap round-trips) all rest on one property:
+given the same inputs, every simulator component produces bit-identical
+output.  This lint statically rejects the usual ways that property rots:
+
+  wall-clock          reading clocks (steady/system/high_resolution ::now,
+                      time(), gettimeofday, clock_gettime) in simulator code
+  raw-rand            std::rand / srand / rand() -- unseedable global state
+  random-device       std::random_device -- fresh entropy per run
+  unordered-iteration iterating an unordered_{map,set} (range-for or
+                      explicit .begin()) -- bucket order varies across
+                      libstdc++ versions and hash seeds, so any output
+                      derived from the walk is unstable
+  pointer-order       ordering or hashing by pointer value (std::less<T*>,
+                      std::hash<T*>, reinterpret_cast<[u]intptr_t>) --
+                      allocator-dependent
+  uninit-serialized   a scalar member of a serialized struct (doc comment
+                      mentioning pack/serialize/codec) with no initializer --
+                      the packed image would leak indeterminate bytes
+
+Findings print as `path:line: [rule] message`; the exit status is the number
+of findings (0 == clean).  A finding is suppressed by an allowlist marker on
+the same line or the line directly above:
+
+    // ccs-lint: allow(wall-clock)        one rule
+    // ccs-lint: allow(wall-clock, raw-rand)
+
+Usage:
+    python3 tools/determinism_lint.py [paths...]       # default: src/
+    python3 tools/determinism_lint.py --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+ALLOW_RE = re.compile(r"ccs-lint:\s*allow\(([^)]*)\)")
+
+# Simple per-line pattern rules: (rule, regex, message).
+LINE_RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"(steady_clock|system_clock|high_resolution_clock)\s*::\s*now"
+            r"|\bgettimeofday\s*\("
+            r"|\bclock_gettime\s*\("
+            r"|std::time\s*\("
+            r"|\bstd::clock\s*\("
+        ),
+        "reads a wall clock; simulator output must not depend on real time",
+    ),
+    (
+        "raw-rand",
+        re.compile(r"\bstd::rand\b|\bsrand\s*\(|(?<![\w:])rand\s*\(\s*\)"),
+        "std::rand/srand is unseedable global state; use util::Rng",
+    ),
+    (
+        "random-device",
+        re.compile(r"\bstd::random_device\b"),
+        "std::random_device draws fresh entropy per run; use a fixed seed",
+    ),
+    (
+        "pointer-order",
+        re.compile(
+            r"std::less\s*<[^<>]*\*\s*>"
+            r"|std::hash\s*<[^<>]*\*\s*>"
+            r"|reinterpret_cast\s*<\s*(?:std::)?u?intptr_t\s*>"
+        ),
+        "orders or hashes by pointer value, which is allocator-dependent",
+    ),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)\s*[;{=(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*[^;:)]*:\s*(\w+)\s*\)")
+BEGIN_ITER_RE = re.compile(r"\b(\w+)\s*\.\s*(?:begin|cbegin)\s*\(\s*\)")
+
+SERIALIZED_DOC_RE = re.compile(r"\bpack|\bserializ|\bcodec|\bbyte image", re.IGNORECASE)
+STRUCT_RE = re.compile(r"^\s*struct\s+(\w+)\s*(?:final\s*)?{")
+SCALAR_MEMBER_RE = re.compile(
+    r"^\s*(?:std::)?"
+    r"(?:u?int(?:8|16|32|64)_t|size_t|ptrdiff_t|int|long|short|unsigned"
+    r"|float|double|bool|char)\b[\w\s:]*\s(\w+)\s*;"
+)
+
+
+def strip_comment(line: str) -> str:
+    """Drop // comments so patterns never fire on prose (string literals with
+    // would be mis-stripped, but simulator code has none worth linting)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def allowed_rules(lines: list[str], idx: int) -> set[str]:
+    """Allowlist markers on this line or the line directly above."""
+    rules: set[str] = set()
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_RE.search(lines[probe])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lint_file(path: pathlib.Path) -> list[tuple[pathlib.Path, int, str, str]]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        print(f"warning: cannot read {path}: {err}", file=sys.stderr)
+        return []
+    lines = text.splitlines()
+    findings = []
+
+    def report(idx: int, rule: str, message: str) -> None:
+        if rule not in allowed_rules(lines, idx):
+            findings.append((path, idx + 1, rule, message))
+
+    # Pass 1: names of unordered containers declared anywhere in this file.
+    unordered_names = set()
+    for line in lines:
+        code = strip_comment(line)
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+
+    # Pass 2: line rules + unordered iteration.
+    for i, line in enumerate(lines):
+        code = strip_comment(line)
+        for rule, pattern, message in LINE_RULES:
+            if pattern.search(code):
+                report(i, rule, message)
+        for pattern in (RANGE_FOR_RE, BEGIN_ITER_RE):
+            for m in pattern.finditer(code):
+                if m.group(1) in unordered_names:
+                    report(
+                        i,
+                        "unordered-iteration",
+                        f"iterates unordered container '{m.group(1)}'; bucket "
+                        "order is not deterministic across stdlib versions",
+                    )
+
+    # Pass 3: uninitialized scalar members of serialized structs.  A struct
+    # counts as serialized when the contiguous comment block directly above
+    # its definition mentions packing/serialization.
+    i = 0
+    while i < len(lines):
+        m = STRUCT_RE.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        doc_start = i
+        while doc_start > 0 and lines[doc_start - 1].lstrip().startswith("//"):
+            doc_start -= 1
+        doc = "\n".join(lines[doc_start:i])
+        serialized = bool(SERIALIZED_DOC_RE.search(doc))
+        depth = 0
+        j = i
+        while j < len(lines):
+            code = strip_comment(lines[j])
+            depth += code.count("{") - code.count("}")
+            if serialized and depth == 1 and j > i:
+                member = SCALAR_MEMBER_RE.match(code)
+                if member and "=" not in code and "(" not in code:
+                    report(
+                        j,
+                        "uninit-serialized",
+                        f"scalar member '{member.group(1)}' of serialized "
+                        f"struct '{m.group(1)}' has no initializer; packed "
+                        "images would carry indeterminate bytes",
+                    )
+            j += 1
+            if depth == 0 and j > i:
+                break
+        i = j if j > i else i + 1
+    return findings
+
+
+def collect_files(paths: list[str]) -> list[pathlib.Path]:
+    files = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            files.extend(
+                f for f in sorted(p.rglob("*")) if f.suffix in SOURCE_SUFFIXES
+            )
+        elif p.suffix in SOURCE_SUFFIXES:
+            files.append(p)
+        else:
+            print(f"warning: skipping non-source path {p}", file=sys.stderr)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument("--list-rules", action="store_true", help="print rule names and exit")
+    args = parser.parse_args(argv)
+
+    rule_names = [r for r, _, _ in LINE_RULES] + ["unordered-iteration", "uninit-serialized"]
+    if args.list_rules:
+        print("\n".join(rule_names))
+        return 0
+
+    findings = []
+    for path in collect_files(args.paths or ["src"]):
+        findings.extend(lint_file(path))
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"{len(findings)} determinism finding(s)", file=sys.stderr)
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/determinism_lint.py, driven by annotated fixtures.
+
+Each fixture in tests/lint/fixtures/ marks every line the linter must flag
+with a trailing `// ... LINT-EXPECT(rule)` comment (one marker per expected
+finding).  The test runs the linter over each fixture and requires the set of
+(line, rule) findings to equal the set of markers exactly -- a missing
+finding is a false negative, an extra one a false positive, and both fail.
+
+Run directly (no framework needed):
+    python3 tools/determinism_lint_test.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import determinism_lint  # noqa: E402
+
+FIXTURES = pathlib.Path(__file__).resolve().parent.parent / "tests" / "lint" / "fixtures"
+EXPECT_RE = re.compile(r"LINT-EXPECT\((\w[\w-]*)\)")
+
+
+def expected_findings(path: pathlib.Path) -> set[tuple[int, str]]:
+    expected = set()
+    for i, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        for m in EXPECT_RE.finditer(line):
+            expected.add((i, m.group(1)))
+    return expected
+
+
+def check_fixture(path: pathlib.Path) -> list[str]:
+    expected = expected_findings(path)
+    actual = {
+        (line, rule) for _, line, rule, _ in determinism_lint.lint_file(path)
+    }
+    errors = []
+    for line, rule in sorted(expected - actual):
+        errors.append(f"{path.name}:{line}: expected [{rule}] but the linter was silent")
+    for line, rule in sorted(actual - expected):
+        errors.append(f"{path.name}:{line}: unexpected [{rule}] finding")
+    return errors
+
+
+def main() -> int:
+    fixtures = sorted(FIXTURES.glob("*.cc"))
+    if len(fixtures) < 6:
+        print(f"FAIL: expected at least 6 fixtures in {FIXTURES}, found {len(fixtures)}")
+        return 1
+
+    errors = []
+    for fixture in fixtures:
+        errors.extend(check_fixture(fixture))
+
+    # The rule inventory itself is part of the contract: at least six rules,
+    # and every rule exercised by at least one fixture marker.
+    rule_names = {r for r, _, _ in determinism_lint.LINE_RULES}
+    rule_names.update({"unordered-iteration", "uninit-serialized"})
+    if len(rule_names) < 6:
+        errors.append(f"rule inventory shrank to {len(rule_names)} (< 6): {sorted(rule_names)}")
+    exercised = set()
+    for fixture in fixtures:
+        exercised.update(rule for _, rule in expected_findings(fixture))
+    for rule in sorted(rule_names - exercised):
+        errors.append(f"rule [{rule}] has no fixture exercising it")
+
+    if errors:
+        print("\n".join(errors))
+        print(f"FAIL: {len(errors)} error(s) across {len(fixtures)} fixtures")
+        return 1
+    print(f"PASS: {len(fixtures)} fixtures, {len(rule_names)} rules, all exercised")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
