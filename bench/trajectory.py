@@ -30,6 +30,19 @@ import sys
 
 COLUMNS = ["pr", "source", "benchmark", "metric", "value", "unit", "note"]
 
+# google-benchmark appends run modifiers to names (BM_x/iterations:1,
+# BM_x/repeats:3, BM_x/real_time, ...), and PRs recorded the same family
+# with different modifiers across eras.  Strip them so one benchmark forms
+# ONE cross-PR series instead of several singletons.
+RUN_MODIFIER_RE = re.compile(
+    r"/(?:iterations|repeats|min_time|min_warmup_time|threads):[^/]+"
+    r"|/(?:real_time|process_time|manual_time)\b"
+)
+
+
+def normalize_benchmark_name(name):
+    return RUN_MODIFIER_RE.sub("", name)
+
 
 class TrajectoryError(Exception):
     """A BENCH file that exists but cannot be read or understood."""
@@ -44,7 +57,7 @@ def rows_from_google_benchmark(pr, source, doc):
     for b in benches:
         if has_aggregates and b.get("aggregate_name") != "median":
             continue
-        name = b.get("run_name") or b["name"]
+        name = normalize_benchmark_name(b.get("run_name") or b["name"])
         label = b.get("label", "")
         if b.get("items_per_second") is not None:
             rows.append([pr, source, name, "items_per_second",
@@ -52,7 +65,10 @@ def rows_from_google_benchmark(pr, source, doc):
         if b.get("real_time") is not None:
             rows.append([pr, source, name, "real_time_median",
                          float(b["real_time"]), b.get("time_unit", "ns"), label])
-        for counter in ("model_throughput", "misses_per_output", "speedup"):
+        for counter in ("model_throughput", "misses_per_output", "speedup",
+                        "p50_steady", "p99_steady", "p50_mixed", "p99_mixed",
+                        "tail_gap_x", "p99_round_robin", "p99_affinity",
+                        "p99_adaptive", "p95_spread", "p99_spread"):
             if b.get(counter) is not None:
                 rows.append([pr, source, name, counter, float(b[counter]), "", label])
     if not rows:
@@ -132,6 +148,26 @@ def write_markdown(rows, out):
             shown = f"{value:,.4g}" if isinstance(value, float) else value
             out.write(f"| {bench} | {metric} | {shown} | {unit} | {note} |\n")
 
+    # Cross-PR series: every (benchmark, metric) measured by two or more
+    # PRs, so the actual trajectory -- not just per-PR snapshots -- is
+    # visible in one table.
+    series = {}
+    for pr, _, bench, metric, value, unit, _ in rows:
+        series.setdefault((bench, metric, unit), {})[pr] = value
+    multi = {k: v for k, v in series.items() if len(v) >= 2}
+    out.write("\n## Cross-PR series\n\n")
+    if not multi:
+        out.write("(no benchmark/metric pair recorded by more than one PR)\n")
+        return
+    out.write("| benchmark | metric | unit | values by PR |\n")
+    out.write("|---|---|---|---|\n")
+    for (bench, metric, unit), by in sorted(multi.items()):
+        shown = ", ".join(
+            f"PR{pr}: {value:,.4g}" if isinstance(value, float) else f"PR{pr}: {value}"
+            for pr, value in sorted(by.items())
+        )
+        out.write(f"| {bench} | {metric} | {unit} | {shown} |\n")
+
 
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -156,6 +192,13 @@ def main(argv):
     if failures:
         for failure in failures:
             print(f"error: {failure}", file=sys.stderr)
+        return 1
+    if not rows:
+        # Belt and braces: every normalize() either returns rows or raises,
+        # but an empty merged table must never pass silently -- it would
+        # publish a trajectory that says "no PR ever had a perf story".
+        print("error: zero data rows after normalizing "
+              f"{len(paths)} BENCH files", file=sys.stderr)
         return 1
 
     if args.csv:

@@ -5,6 +5,7 @@
 //                      [--l1-words=4096] [--llc-words=32768] [--llc-shards=0]
 //                      [--ticks=64] [--arrival=bursty-64]
 //                      [--rebalance-every=8] [--mode=both]
+//                      [--cost-model=uniform] [--slo-p99=0]
 //                      [--max-live-sessions=0] [--swap]
 //                      [--churn=0] [--churn-max-live=8]
 //                      [--no-auto-migrate] [--json]
@@ -146,6 +147,12 @@ int main(int argc, char** argv) {
   args.add_int("stagger", 0, "per-tenant arrival phase shift (tenant i waits i*stagger ticks)");
   args.add_int("rebalance-every", 8, "ticks between placement rebalances (0 = never)");
   args.add_string("mode", "both", "virtual, threads, or both (verify agreement)");
+  args.add_string("cost-model", "uniform",
+                  "latency cost model (CostModelRegistry key: uniform, "
+                  "two-level, llc-shared)");
+  args.add_int("slo-p99", 0,
+               "per-step p99 latency target in modeled cycles (0 = no SLO); "
+               "reports per-tenant attainment");
   args.add_int("max-live-sessions", 0,
                "bounded-live admission budget (0 = unbounded admission)");
   args.add_flag("swap", "enable the idle-session swap tier (serialize idle "
@@ -170,6 +177,8 @@ int main(int argc, char** argv) {
     opts.llc_words = args.get_int("llc-words");
     opts.llc_shards = static_cast<std::int32_t>(args.get_int("llc-shards"));
     opts.placement = args.get_string("placement");
+    opts.cost_model = args.get_string("cost-model");
+    opts.slo_p99 = args.get_int("slo-p99");
     if (args.get_flag("no-auto-migrate")) {
       opts.adaptive = placement::never_fire_adaptive();
     }
@@ -266,16 +275,17 @@ int main(int argc, char** argv) {
     Table tenants_table(std::to_string(specs.size()) + " tenants on " +
                         std::to_string(opts.workers) + " workers (" + opts.placement +
                         ", " + args.get_string("arrival") + ", " + mode + " mode)");
-    tenants_table.set_header(
-        {"tenant", "worker", "migr", "steps", "outputs", "misses", "miss/out"});
+    tenants_table.set_header({"tenant", "worker", "migr", "steps", "outputs", "misses",
+                              "miss/out", "p99"});
     tenants_table.set_align({Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
-                             Align::kRight, Align::kRight, Align::kRight});
+                             Align::kRight, Align::kRight, Align::kRight, Align::kRight});
     for (const auto& row : report.tenants) {
       tenants_table.add_row(
           {row.name, Table::num(static_cast<std::int64_t>(row.worker)),
            Table::num(row.migrations), Table::num(row.steps), Table::num(row.outputs),
            Table::num(row.totals.cache.misses),
-           Table::num(row.totals.misses_per_output(), 3)});
+           Table::num(row.totals.misses_per_output(), 3),
+           Table::num(row.totals.latency.p99())});
     }
     tenants_table.print(std::cout);
 
@@ -291,6 +301,30 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     workers_table.print(std::cout);
 
+    std::cout << "\nlatency (" << report.cost_model << " model): p50 "
+              << report.aggregate.latency.p50() << " / p95 "
+              << report.aggregate.latency.p95() << " / p99 "
+              << report.aggregate.latency.p99() << " / max "
+              << report.aggregate.latency.max() << " modeled cycles per step\n";
+    if (report.slo_p99 > 0) {
+      std::int64_t within = 0;
+      std::vector<std::string> violators;
+      for (const auto& row : report.tenants) {
+        if (row.totals.latency.p99() <= report.slo_p99) {
+          ++within;
+        } else {
+          violators.push_back(row.name);
+        }
+      }
+      std::cout << "SLO p99 <= " << report.slo_p99 << ": " << within << "/"
+                << report.tenants.size() << " tenants within target";
+      if (!violators.empty()) {
+        std::cout << " (violated by";
+        for (const std::string& name : violators) std::cout << " " << name;
+        std::cout << ")";
+      }
+      std::cout << "\n";
+    }
     std::cout << "\nmakespan " << report.makespan() << " (imbalance "
               << Table::num(report.imbalance(), 2) << "), " << report.migrations
               << " migrations (" << report.auto_migrations

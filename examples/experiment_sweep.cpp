@@ -63,6 +63,12 @@ int main(int argc, char** argv) {
   args.add_string("cluster-placements", "round-robin",
                   "comma-separated placement registry keys (round-robin, "
                   "least-loaded, affinity, adaptive)");
+  args.add_string("cluster-cost-models", "uniform",
+                  "comma-separated latency cost models for cluster cells "
+                  "(uniform, two-level, llc-shared)");
+  args.add_int("cluster-slo-p99", 0,
+               "per-step p99 latency target in modeled cycles for cluster "
+               "cells (0 = no SLO)");
   args.add_int("cluster-ticks", 64, "arrival ticks per cluster cell");
   args.add_int("cluster-llc-factor", 8,
                "shared LLC as a multiple of the per-worker L1 (0 = no LLC)");
@@ -121,6 +127,8 @@ int main(int argc, char** argv) {
       spec.cluster.tenant_counts.push_back(static_cast<std::int32_t>(std::stoi(t)));
     }
     spec.cluster.placements = split_csv(args.get_string("cluster-placements"));
+    spec.cluster.cost_models = split_csv(args.get_string("cluster-cost-models"));
+    spec.cluster.slo_p99 = args.get_int("cluster-slo-p99");
     spec.cluster.ticks = args.get_int("cluster-ticks");
     spec.cluster.llc_factor = args.get_int("cluster-llc-factor");
     spec.cluster.llc_shards =

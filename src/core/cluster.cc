@@ -170,6 +170,12 @@ void write_cache_stats_json(std::ostream& os, const iomodel::CacheStats& s) {
      << ", \"misses\": " << s.misses << ", \"writebacks\": " << s.writebacks << "}";
 }
 
+void write_histogram_json(std::ostream& os, const latency::Histogram& h) {
+  os << "{\"samples\": " << h.count() << ", \"cycles\": " << h.sum()
+     << ", \"p50\": " << h.p50() << ", \"p95\": " << h.p95()
+     << ", \"p99\": " << h.p99() << ", \"max\": " << h.max() << "}";
+}
+
 }  // namespace
 
 PlacementRegistry& PlacementRegistry::global() {
@@ -252,6 +258,29 @@ void ClusterReport::write_json(std::ostream& os) const {
      << ", \"channel_misses\": " << aggregate.channel_misses
      << ", \"io_misses\": " << aggregate.io_misses << "},\n  \"llc\": ";
   write_cache_stats_json(os, llc);
+  // The whole latency block on ONE line (mirroring "lifecycle" above): the
+  // uniform-model strict-extension gate strips it with `grep -v '"latency"'`
+  // and byte-compares the rest against the pre-latency golden capture.
+  os << ",\n  \"latency\": {\"cost_model\": \"" << json_escape(cost_model)
+     << "\", \"slo_p99\": " << slo_p99 << ", \"total_cost\": " << aggregate.cost
+     << ", \"aggregate\": ";
+  write_histogram_json(os, aggregate.latency);
+  os << ", \"workers\": [";
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    os << (w == 0 ? "" : ", ");
+    write_histogram_json(os, workers[w].latency);
+  }
+  os << "], \"tenants\": [";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const ClusterTenantReport& t = tenants[i];
+    os << (i == 0 ? "" : ", ") << "{\"id\": " << t.id
+       << ", \"cost\": " << t.totals.cost << ", \"hist\": ";
+    write_histogram_json(os, t.totals.latency);
+    os << ", \"slo_ok\": "
+       << (slo_p99 <= 0 || t.totals.latency.p99() <= slo_p99 ? "true" : "false")
+       << "}";
+  }
+  os << "]}";
   os << ",\n  \"worker_table\": [";
   for (std::size_t w = 0; w < workers.size(); ++w) {
     os << (w == 0 ? "\n" : ",\n") << "    {\"worker\": " << w
@@ -283,6 +312,11 @@ Cluster::Cluster(ClusterOptions options, const PlacementRegistry* registry)
                                        options_.llc_words, options_.llc_shards}) {
   const PlacementRegistry& reg =
       registry != nullptr ? *registry : PlacementRegistry::global();
+  latency::CostContext cost_ctx;
+  cost_ctx.workers = options_.workers;
+  cost_ctx.llc_shards = options_.llc_shards;
+  cost_ctx.has_llc = options_.llc_words > 0;
+  cost_model_ = latency::CostModelRegistry::global().build(options_.cost_model, cost_ctx);
   policy_ = reg.find(options_.placement).build();
   admission_ = session::AdmissionRegistry::global().build(options_.admission,
                                                           options_.budget);
@@ -382,6 +416,7 @@ TenantId Cluster::admit(std::string name, const sdf::SdfGraph& g,
   t.m = effective_m;
   t.stream = std::make_unique<Stream>(g, p, pool_.worker_cache(home), effective_m,
                                       std::move(options));
+  t.stream->set_cost_model(&cost_model_);
   const auto [it, inserted] = tenants_.emplace(id, std::move(t));
   CCS_CHECK(inserted, "tenant id reused");
   ++next_id_;
@@ -468,6 +503,7 @@ void Cluster::rehydrate(TenantId id, Tenant& t) {
   t.stream = std::make_unique<Stream>(t.graph, t.partition,
                                       pool_.worker_cache(t.worker), t.m,
                                       std::move(options));
+  t.stream->set_cost_model(&cost_model_);
   StreamState state;
   state.engine = snapshot.engine;
   state.totals = snapshot.totals;
@@ -573,7 +609,10 @@ bool Cluster::worker_step(WorkerId w) {
       t.idle = true;  // stays blocked until the controlling thread pushes
       continue;
     }
-    worker.busy += r.run.firings;
+    // Virtual time advances by the step's modeled cost (== firings under
+    // the "uniform" model, preserving the pre-latency clock bit-for-bit).
+    worker.busy += r.run.cost;
+    worker.latency.record(r.run.cost);
     ++worker.steps;
     worker.cursor = (slot + 1) % n;
     return true;
@@ -772,9 +811,10 @@ void Cluster::drain_all() {
   for (auto& [id, t] : tenants_) {
     if (t.stream == nullptr) rehydrate(id, t);
     const runtime::RunResult r = t.stream->drain();
-    // Drain firings execute on the tenant's worker cache; account them
-    // there so makespan covers the tail work too.
-    workers_[static_cast<std::size_t>(t.worker)].busy += r.firings;
+    // Drain work executes on the tenant's worker cache; account its cost
+    // there so makespan covers the tail work too (it is priced but not a
+    // histogram sample -- see Stream::drain).
+    workers_[static_cast<std::size_t>(t.worker)].busy += r.cost;
     t.idle = true;
   }
 }
@@ -782,6 +822,8 @@ void Cluster::drain_all() {
 ClusterReport Cluster::report() const {
   ClusterReport report;
   report.placement = options_.placement;
+  report.cost_model = options_.cost_model;
+  report.slo_p99 = options_.slo_p99;
   report.llc_shards = pool_.llc_shards();
   report.rounds = rounds_;
   report.migrations = migrations_;
@@ -818,6 +860,7 @@ ClusterReport Cluster::report() const {
     ClusterWorkerReport row;
     row.l1 = pool_.worker_stats(w);
     row.busy = worker.busy;
+    row.latency = worker.latency;
     row.steps = worker.steps;
     row.tenants = static_cast<std::int32_t>(worker.tenants.size());
     report.steps += worker.steps;

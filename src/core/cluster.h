@@ -83,6 +83,8 @@
 
 #include "core/server.h"
 #include "core/stream.h"
+#include "latency/cost_model.h"
+#include "latency/histogram.h"
 #include "placement/footprint.h"
 #include "runtime/run_result.h"
 #include "runtime/worker_pool.h"
@@ -99,7 +101,8 @@ inline constexpr WorkerId kNoWorker = -1;
 /// What a placement policy may consult about one worker.
 struct ClusterWorkerStatus {
   WorkerId id = kNoWorker;
-  std::int64_t busy = 0;     ///< Firings executed on this worker so far.
+  std::int64_t busy = 0;     ///< Modeled cycles executed on this worker so far
+                             ///< (== firings under the "uniform" cost model).
   std::int64_t steps = 0;    ///< Tenant steps granted so far.
   std::int32_t tenants = 0;  ///< Sessions currently placed here.
   std::int64_t misses = 0;   ///< Private-L1 misses so far.
@@ -200,6 +203,18 @@ struct ClusterOptions {
   /// multiple of the L1 block size. 2^40 / band_words bands exist -- 16 at
   /// the default 2^36, ~1M at 2^20.
   std::int64_t band_words = std::int64_t{1} << 36;
+
+  /// latency::CostModelRegistry key pricing every tenant step. The default
+  /// "uniform" prices a step at its firing count, so virtual time, busy,
+  /// and makespan are bit-identical to the pre-latency counters (the
+  /// strict-extension gate); "two-level" / "llc-shared" spread step costs
+  /// across the hierarchy's cycle model.
+  std::string cost_model = "uniform";
+
+  /// Target p99 step cost (modeled cycles) for SLO reporting; 0 disables.
+  /// Purely observational -- attainment is reported per tenant in the
+  /// latency block, scheduling is unaffected.
+  std::int64_t slo_p99 = 0;
 };
 
 /// One tenant's slice of a ClusterReport.
@@ -217,9 +232,11 @@ struct ClusterTenantReport {
 /// One worker's slice of a ClusterReport.
 struct ClusterWorkerReport {
   iomodel::CacheStats l1;     ///< The worker's private-cache counters.
-  std::int64_t busy = 0;      ///< Firings executed here (unit work per firing).
+  std::int64_t busy = 0;      ///< Modeled cycles executed here (== firings under "uniform").
   std::int64_t steps = 0;     ///< Tenant steps granted here.
   std::int32_t tenants = 0;   ///< Sessions placed here at report time.
+  latency::Histogram latency; ///< Step costs executed here (stays on the worker
+                              ///< across tenant migrations, unlike tenant totals).
 };
 
 /// Per-tenant, per-worker, and aggregate accounting of a cluster run.
@@ -235,6 +252,8 @@ struct ClusterReport {
   iomodel::CacheStats llc;                   ///< Shared-LLC counters (zero when absent).
   std::int32_t llc_shards = 0;               ///< LLC stripes (0 = single-mutex backend).
   std::string placement;                     ///< Policy key the cluster ran.
+  std::string cost_model;                    ///< Cost-model key pricing the steps.
+  std::int64_t slo_p99 = 0;                  ///< Target p99 (0 = no SLO set).
   std::int64_t steps = 0;                    ///< Tenant steps across all workers.
   std::int64_t rounds = 0;                   ///< Virtual-time rounds advanced.
   std::int64_t migrations = 0;               ///< Total migrations performed.
@@ -401,8 +420,9 @@ class Cluster {
   struct Worker {
     std::vector<TenantId> tenants;  ///< Placement, in arrival-at-worker order.
     std::size_t cursor = 0;         ///< Rotation point into `tenants`.
-    std::int64_t busy = 0;          ///< Firings executed here.
+    std::int64_t busy = 0;          ///< Modeled cycles executed here (the virtual clock).
     std::int64_t steps = 0;         ///< Tenant steps granted here.
+    latency::Histogram latency;     ///< Step costs executed here.
   };
 
   /// THE shared code path of both execution modes: one multiplexing
@@ -441,6 +461,7 @@ class Cluster {
 
   ClusterOptions options_;
   runtime::WorkerPool pool_;
+  latency::CostModel cost_model_;  ///< Prices every tenant step; streams point at it.
   std::unique_ptr<PlacementPolicy> policy_;
   std::unique_ptr<session::AdmissionPolicy> admission_;
   std::map<TenantId, Tenant> tenants_;  ///< Open sessions only, O(live+swapped).

@@ -52,6 +52,7 @@ struct Experiment::Coordinate {
   std::int32_t tenants = 0;
   std::int32_t workers = 0;
   std::string placement;
+  std::string cost_model;
   std::int64_t t_multiplier = 1;
 };
 
@@ -85,6 +86,9 @@ std::vector<Experiment::Coordinate> Experiment::enumerate() const {
   const std::vector<std::string> cluster_placements =
       spec_.cluster.placements.empty() ? std::vector<std::string>{"round-robin"}
                                        : spec_.cluster.placements;
+  const std::vector<std::string> cluster_cost_models =
+      spec_.cluster.cost_models.empty() ? std::vector<std::string>{"uniform"}
+                                        : spec_.cluster.cost_models;
   for (const std::string& workload : spec_.workloads) {
     for (const iomodel::CacheConfig& cache : spec_.caches) {
       for (const std::string& partitioner : spec_.partitioners) {
@@ -121,16 +125,19 @@ std::vector<Experiment::Coordinate> Experiment::enumerate() const {
         for (const std::int32_t tenants : cluster_tenant_counts) {
           for (const std::int32_t workers : cluster_worker_counts) {
             for (const std::string& placement : cluster_placements) {
-              Coordinate at;
-              at.workload = workload;
-              at.cache = cache;
-              at.strategy = spec_.cluster.online_policy;
-              at.is_cluster = true;
-              at.arrival = arrival;
-              at.tenants = tenants;
-              at.workers = workers;
-              at.placement = placement;
-              out.push_back(std::move(at));
+              for (const std::string& cost_model : cluster_cost_models) {
+                Coordinate at;
+                at.workload = workload;
+                at.cache = cache;
+                at.strategy = spec_.cluster.online_policy;
+                at.is_cluster = true;
+                at.arrival = arrival;
+                at.tenants = tenants;
+                at.workers = workers;
+                at.placement = placement;
+                at.cost_model = cost_model;
+                out.push_back(std::move(at));
+              }
             }
           }
         }
@@ -154,6 +161,7 @@ CellResult Experiment::run_cell(const Coordinate& at) const {
   cell.tenants = at.tenants;
   cell.workers = at.workers;
   cell.placement = at.placement;
+  cell.cost_model = at.cost_model;
   cell.t_multiplier = at.t_multiplier;
   try {
     if (at.is_online || at.is_cluster) {
@@ -354,6 +362,8 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
         spec_.cluster.llc_factor > 0 ? spec_.cluster.llc_factor * l1.capacity_words : 0;
     cluster_opts.llc_shards = spec_.cluster.llc_shards;
     cluster_opts.placement = at.placement;
+    cluster_opts.cost_model = at.cost_model;
+    cluster_opts.slo_p99 = spec_.cluster.slo_p99;
     cluster_opts.adaptive = spec_.cluster.adaptive;
     cluster_opts.admission = spec_.cluster.admission;
     cluster_opts.budget.max_live_sessions = spec_.cluster.max_live_sessions;
@@ -461,6 +471,14 @@ void Experiment::run_cluster_cell(const Coordinate& at, CellResult& cell) const 
   cell.cluster_migrations = report.migrations;
   cell.cluster_auto_migrations = report.auto_migrations;
   cell.cluster_peak_live = report.lifecycle.peak_live;
+  cell.cluster_p50 = report.aggregate.latency.p50();
+  cell.cluster_p95 = report.aggregate.latency.p95();
+  cell.cluster_p99 = report.aggregate.latency.p99();
+  for (const ClusterTenantReport& t : report.tenants) {
+    if (spec_.cluster.slo_p99 <= 0 || t.totals.latency.p99() <= spec_.cluster.slo_p99) {
+      ++cell.cluster_slo_ok;
+    }
+  }
   cell.buffer_words = buffer_words;
 }
 
@@ -544,7 +562,8 @@ void ExperimentResult::write_csv(std::ostream& os) const {
         "buffer_words,accesses,misses,writebacks,firings,source_firings,sink_firings,"
         "state_misses,channel_misses,io_misses,misses_per_input,misses_per_output,"
         "server_steps,cluster_makespan,cluster_migrations,cluster_auto_migrations,"
-        "cluster_peak_live,error\n";
+        "cluster_peak_live,error,"
+        "cost_model,cluster_p50,cluster_p95,cluster_p99,cluster_slo_ok\n";
   for (const CellResult& c : cells) {
     os << csv_escape(c.workload) << ',' << c.cache.capacity_words << ','
        << c.cache.block_words << ',' << csv_escape(c.strategy) << ','
@@ -564,7 +583,9 @@ void ExperimentResult::write_csv(std::ostream& os) const {
        << fmt_double(c.misses_per_input) << ',' << fmt_double(c.misses_per_output) << ','
        << c.server_steps << ',' << c.cluster_makespan << ',' << c.cluster_migrations
        << ',' << c.cluster_auto_migrations << ',' << c.cluster_peak_live << ','
-       << csv_escape(c.error) << '\n';
+       << csv_escape(c.error) << ',' << csv_escape(c.cost_model) << ','
+       << c.cluster_p50 << ',' << c.cluster_p95 << ',' << c.cluster_p99 << ','
+       << c.cluster_slo_ok << '\n';
   }
 }
 
@@ -594,7 +615,12 @@ void ExperimentResult::write_json(std::ostream& os) const {
          << ", \"cluster_makespan\": " << c.cluster_makespan
          << ", \"cluster_migrations\": " << c.cluster_migrations
          << ", \"cluster_auto_migrations\": " << c.cluster_auto_migrations
-         << ", \"cluster_peak_live\": " << c.cluster_peak_live;
+         << ", \"cluster_peak_live\": " << c.cluster_peak_live
+         << ", \"cost_model\": \"" << json_escape(c.cost_model) << "\""
+         << ", \"cluster_p50\": " << c.cluster_p50
+         << ", \"cluster_p95\": " << c.cluster_p95
+         << ", \"cluster_p99\": " << c.cluster_p99
+         << ", \"cluster_slo_ok\": " << c.cluster_slo_ok;
     }
     os << ", \"t_multiplier\": " << c.t_multiplier
        << ", \"ok\": " << (c.ok ? "true" : "false");

@@ -76,6 +76,13 @@ struct ClusterSweep {
 
   std::int64_t ticks = 128;                   ///< Pushes per tenant.
 
+  /// Latency/SLO axis: cost models to sweep (latency::CostModelRegistry
+  /// keys; empty = {"uniform"}, which keeps every legacy counter
+  /// bit-identical) and an optional per-step p99 target in modeled cycles
+  /// (0 = no SLO; attainment is then trivially all tenants).
+  std::vector<std::string> cost_models;
+  std::int64_t slo_p99 = 0;
+
   /// Trigger thresholds for "adaptive" placement cells (ignored by the
   /// static keys), so a sweep can put adaptive-with-migration-disabled next
   /// to "affinity" in the same grid and diff the rows.
@@ -148,6 +155,7 @@ struct CellResult {
   std::int32_t tenants = 0;         ///< Tenant count (online/cluster cells).
   std::int32_t workers = 0;         ///< Worker count (cluster cells only).
   std::string placement;            ///< Placement key (cluster cells only).
+  std::string cost_model;           ///< Latency cost model (cluster cells only).
   std::int64_t t_multiplier = 1;    ///< Always 1 for baselines and online cells.
 
   // -- outcome --
@@ -174,6 +182,11 @@ struct CellResult {
   std::int64_t cluster_auto_migrations = 0;  ///< Moves adaptive placement triggered.
   std::int64_t cluster_peak_live = 0;   ///< Peak resident sessions (cluster cells)
                                         ///< -- the O(live) claim, machine-checkable.
+  std::int64_t cluster_p50 = 0;     ///< Aggregate per-step latency percentiles in
+  std::int64_t cluster_p95 = 0;     ///< modeled cycles (cluster cells; 0 when the
+  std::int64_t cluster_p99 = 0;     ///< histogram is empty).
+  std::int32_t cluster_slo_ok = 0;  ///< Tenants whose p99 met ClusterSweep::slo_p99
+                                    ///< (all tenants when no SLO is set).
 };
 
 /// Structured sweep output.

@@ -80,6 +80,12 @@ StepResult Stream::step() {
   // traffic must not be attributed to this session's delta window.
   engine_->resync_cache_baseline();
   result.run = engine_->run(plan.firings);
+  if (cost_model_ != nullptr) {
+    // Price the step's own delta window and record it as one latency
+    // sample; totals_ then accumulates both through RunResult::operator+=.
+    result.run.cost = cost_model_->step_cost(result.run.firings, result.run.cache);
+    result.run.latency.record(result.run.cost);
+  }
   totals_ += result.run;
   ++steps_;
   return result;
@@ -95,6 +101,12 @@ runtime::RunResult Stream::drain() {
   const std::vector<sdf::NodeId> plan = policy_->plan_drain(*view_);
   engine_->resync_cache_baseline();
   runtime::RunResult result = engine_->run(plan);
+  if (cost_model_ != nullptr) {
+    // Priced so drain work advances a worker's virtual clock, but NOT
+    // recorded as a histogram sample -- a terminal flush is not a serving
+    // step, and one giant sample would distort the tail percentiles.
+    result.cost = cost_model_->step_cost(result.firings, result.cache);
+  }
   totals_ += result;
   return result;
 }

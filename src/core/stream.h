@@ -35,6 +35,7 @@
 #include "core/planner.h"
 #include "iomodel/cache.h"
 #include "iomodel/types.h"
+#include "latency/cost_model.h"
 #include "runtime/engine.h"
 #include "runtime/run_result.h"
 #include "schedule/online.h"
@@ -137,6 +138,19 @@ class Stream {
   /// Counters accumulated over the whole session so far.
   const runtime::RunResult& stats() const noexcept { return totals_; }
 
+  /// Attaches a latency cost model: every subsequent progressing step() is
+  /// priced (RunResult::cost = model cycles over the step's own counters)
+  /// and recorded as one sample in RunResult::latency; drain() is priced
+  /// but not sampled (a terminal flush is not a serving-latency event).
+  /// Null (the default) leaves cost at 0 and the histogram empty, so
+  /// model-free sessions stay bit-comparable to the batch golden paths.
+  /// `model` must outlive the stream; core::Cluster re-attaches its model
+  /// after every rehydration.
+  void set_cost_model(const latency::CostModel* model) noexcept {
+    cost_model_ = model;
+  }
+  const latency::CostModel* cost_model() const noexcept { return cost_model_; }
+
   /// Items consumed (source firings) and results produced (sink firings).
   std::int64_t inputs_consumed() const;
   std::int64_t outputs_produced() const;
@@ -190,6 +204,7 @@ class Stream {
   std::unique_ptr<schedule::OnlinePolicy> policy_;
   std::unique_ptr<runtime::Engine> engine_;
   std::unique_ptr<EngineBackedView> view_;
+  const latency::CostModel* cost_model_ = nullptr;  ///< Not owned; may be null.
   runtime::RunResult totals_;
   std::int64_t steps_ = 0;
 };

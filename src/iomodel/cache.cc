@@ -32,26 +32,40 @@ CacheSim::CacheSim(std::int64_t block_words)
   CCS_EXPECTS(block_words > 0, "block size must be positive");
 }
 
-void CacheSim::access_blocks(BlockId first, std::int64_t count, AccessMode mode) {
+std::int64_t CacheSim::access_blocks(BlockId first, std::int64_t count, AccessMode mode) {
   CCS_EXPECTS(first >= 0, "negative block id");
   CCS_EXPECTS(count >= 0, "negative block count");
   CCS_EXPECTS(first <= kMaxInt64 - count, "block range overflows");
-  if (count == 0) return;
+  if (count == 0) return 0;
   // Every block in the range must have an addressable first word, so the
   // bulk path and the word-at-a-time reference agree on their domain.
   CCS_EXPECTS(first + count - 1 <= kMaxInt64 / block_words_,
               "block range exceeds address space");
+  if (!costs_.any()) {
+    do_access_blocks(first, count, mode);
+    return 0;
+  }
+  // Price the call from its own counter delta. The snapshot is four int64
+  // loads; implementations never touch counters outside their own stats_,
+  // so the delta covers exactly this call.
+  const CacheStats before = stats();
   do_access_blocks(first, count, mode);
+  CacheStats delta = stats();
+  delta.accesses -= before.accesses;
+  delta.hits -= before.hits;
+  delta.misses -= before.misses;
+  delta.writebacks -= before.writebacks;
+  return costs_.price(delta);
 }
 
-void CacheSim::access_span(Addr addr, std::int64_t words, AccessMode mode) {
+std::int64_t CacheSim::access_span(Addr addr, std::int64_t words, AccessMode mode) {
   CCS_EXPECTS(addr >= 0, "negative address");
   CCS_EXPECTS(words >= 0, "negative span length");
   CCS_EXPECTS(addr <= kMaxInt64 - words, "span overflows address space");
-  if (words == 0) return;
+  if (words == 0) return 0;
   const BlockId first = block_of(addr);
   const BlockId last = block_of(addr + words - 1);
-  do_access_blocks(first, last - first + 1, mode);
+  return access_blocks(first, last - first + 1, mode);
 }
 
 void CacheSim::access_range(Addr addr, std::int64_t count, AccessMode mode) {

@@ -41,14 +41,25 @@ class CacheSim {
 
   /// Touches `count` consecutive blocks starting at `first`: one simulated
   /// access per block, in ascending order. Equivalent to (but much cheaper
-  /// than) calling access(b * B, mode) for each block b.
-  void access_blocks(BlockId first, std::int64_t count, AccessMode mode);
+  /// than) calling access(b * B, mode) for each block b. Returns the
+  /// accumulated modeled cost of exactly this call under the attached
+  /// AccessCosts (0 under the all-zero default); because pricing is linear
+  /// in the counters, per-call costs sum to the price of the whole window's
+  /// stats() delta, exactly.
+  std::int64_t access_blocks(BlockId first, std::int64_t count, AccessMode mode);
 
   /// Word-range wrapper around access_blocks(): one simulated access per
   /// block overlapping [addr, addr + words). This is how the runtime touches
   /// a contiguous span -- identical misses and recency order to touching
-  /// every word, at O(words/B) simulator work.
-  void access_span(Addr addr, std::int64_t words, AccessMode mode);
+  /// every word, at O(words/B) simulator work. Returns the call's modeled
+  /// cost, like access_blocks().
+  std::int64_t access_span(Addr addr, std::int64_t words, AccessMode mode);
+
+  /// Attaches per-counter cycle costs (latency::CostModel::access_costs());
+  /// subsequent bulk calls return their priced delta. The default all-zero
+  /// costs price every call at 0 and skip the delta bookkeeping entirely.
+  void set_access_costs(const AccessCosts& costs) noexcept { costs_ = costs; }
+  const AccessCosts& access_costs() const noexcept { return costs_; }
 
   /// Evicts everything (dirty blocks count as writebacks). Statistics are
   /// preserved; only contents are dropped.
@@ -89,6 +100,7 @@ class CacheSim {
  private:
   std::int64_t block_words_;
   std::int32_t block_shift_;  // log2(block_words), or -1 if not a power of two
+  AccessCosts costs_;         // all-zero unless a cost model is attached
 };
 
 /// Fully associative LRU with write-back/write-allocate.

@@ -1,0 +1,98 @@
+// Deterministic fixed-boundary latency histograms.
+//
+// The latency subsystem turns per-step modeled costs (latency::CostModel)
+// into tail percentiles -- and percentiles only stay inside the repo's
+// determinism gates (repeat-run, thread-count, threads ≡ virtual-time) if
+// the whole accumulation path is exact integer arithmetic. A Histogram is
+// therefore 64 fixed log2 buckets of int64 counters plus an exact max and
+// sum: recording is a bit_width and an increment, merging is bucket-wise
+// addition (associative and commutative BY CONSTRUCTION, which is what lets
+// per-tenant histograms sum to the aggregate in any order), and quantile
+// extraction is an integer rank walk. No floats anywhere -- the
+// determinism lint's float-accumulation rule enforces that for this whole
+// directory.
+//
+// Bucketing: sample v >= 0 lands in bucket bit_width(v) -- bucket 0 holds
+// exactly {0}, bucket k >= 1 holds [2^(k-1), 2^k - 1]. A quantile reports
+// its bucket's lower boundary, so power-of-two samples are EXACT; the
+// topmost occupied bucket reports the exact tracked maximum instead, so
+// the upper tail is exact too. Samples are modeled cycle counts (int64),
+// so 64 buckets cover the full domain with no clamping.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ccs::latency {
+
+/// Exact-merge log2-bucket histogram of non-negative int64 samples.
+class Histogram {
+ public:
+  static constexpr std::int32_t kBucketCount = 64;
+
+  /// Bucket index of a sample: 0 for 0, otherwise bit_width(v) (so bucket
+  /// k >= 1 spans [2^(k-1), 2^k - 1]).
+  static std::int32_t bucket_of(std::int64_t value) noexcept;
+
+  /// Inclusive lower boundary of a bucket: 0, 1, 2, 4, 8, ...
+  static std::int64_t bucket_floor(std::int32_t bucket) noexcept;
+
+  /// Records one sample. Requires value >= 0 (modeled costs are counts).
+  void record(std::int64_t value);
+
+  /// Exact merge: bucket-wise addition, max of maxima, sum of sums.
+  /// Associative and commutative, so shard/tenant histograms fold into an
+  /// aggregate in any order with a bit-identical result.
+  Histogram& operator+=(const Histogram& other) noexcept;
+
+  friend Histogram operator+(Histogram a, const Histogram& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  /// Samples recorded so far.
+  std::int64_t count() const noexcept { return count_; }
+
+  /// Exact sum of all samples (int64 adds; callers record modeled cycles,
+  /// which stay far below the 2^63 overflow line for any feasible run).
+  std::int64_t sum() const noexcept { return sum_; }
+
+  /// Exact maximum sample (0 when empty).
+  std::int64_t max() const noexcept { return max_; }
+
+  std::int64_t bucket(std::int32_t index) const {
+    return buckets_[static_cast<std::size_t>(index)];
+  }
+  const std::array<std::int64_t, kBucketCount>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// The permille-rank quantile (permille in [0, 1000]): the value below
+  /// which at least ceil(permille * count / 1000) samples fall. Reports the
+  /// chosen bucket's lower boundary -- exact for samples at bucket
+  /// boundaries -- except in the topmost occupied bucket, where the exact
+  /// tracked maximum is reported. Integer arithmetic throughout; 0 for an
+  /// empty histogram.
+  std::int64_t quantile_permille(std::int64_t permille) const;
+
+  std::int64_t p50() const { return quantile_permille(500); }
+  std::int64_t p95() const { return quantile_permille(950); }
+  std::int64_t p99() const { return quantile_permille(990); }
+
+  /// Rebuilds a histogram from serialized state (the swap codec). Derives
+  /// the sample count from the buckets; throws ccs::Error when `max` or
+  /// `sum` cannot belong to these bucket counts (a corrupt image must not
+  /// unpack into an impossible histogram).
+  static Histogram from_state(const std::array<std::int64_t, kBucketCount>& buckets,
+                              std::int64_t max, std::int64_t sum);
+
+  friend bool operator==(const Histogram&, const Histogram&) = default;
+
+ private:
+  std::array<std::int64_t, kBucketCount> buckets_{};
+  std::int64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace ccs::latency

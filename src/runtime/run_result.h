@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "iomodel/types.h"
+#include "latency/histogram.h"
 
 namespace ccs::runtime {
 
@@ -22,6 +23,12 @@ struct RunResult {
   std::int64_t state_misses = 0;    ///< Loading module state.
   std::int64_t channel_misses = 0;  ///< Reading/writing channel buffers.
   std::int64_t io_misses = 0;       ///< External input/output streams.
+
+  // Latency accounting, filled in by the pricing layer (core::Stream when a
+  // latency::CostModel is attached; the Engine itself never prices). Zero /
+  // empty without a model, so counter-only comparisons are unaffected.
+  std::int64_t cost = 0;       ///< Modeled cycles for this run.
+  latency::Histogram latency;  ///< Per-step cost samples (one per priced step).
 
   /// Amortized cost in the paper's terms: misses per item entering the graph
   /// (one item enters per source firing).
@@ -52,6 +59,8 @@ struct RunResult {
     state_misses += other.state_misses;
     channel_misses += other.channel_misses;
     io_misses += other.io_misses;
+    cost += other.cost;
+    latency += other.latency;
     if (node_misses.size() < other.node_misses.size()) {
       node_misses.resize(other.node_misses.size(), 0);
     }

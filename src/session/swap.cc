@@ -1,7 +1,10 @@
 #include "session/swap.h"
 
+#include <algorithm>
+#include <array>
 #include <utility>
 
+#include "latency/histogram.h"
 #include "util/contracts.h"
 #include "util/error.h"
 
@@ -19,9 +22,12 @@ namespace {
 //           firings, source_firings, sink_firings,
 //           state_misses, channel_misses, io_misses,
 //           n_node_misses, node_misses[n],
-//   steps.
+//   steps,
+//   cost, latency histogram: n_buckets, buckets[n], max, sum   (v2).
 constexpr std::uint64_t kMagic = 0xCC5;  // "CCS" session image
-constexpr std::uint64_t kVersion = 1;
+// v2 appended the modeled cost and latency histogram after steps so a
+// swap-out -> rehydrate round trip preserves tail-percentile state exactly.
+constexpr std::uint64_t kVersion = 2;
 
 std::uint64_t zigzag(std::int64_t v) {
   return (static_cast<std::uint64_t>(v) << 1) ^
@@ -137,6 +143,13 @@ SwapImage SwapImage::pack(const SessionSnapshot& snapshot) {
   put_signed_vector(out, t.node_misses);
 
   put_varint(out, snapshot.steps);
+
+  put_varint(out, t.cost);
+  const latency::Histogram& h = t.latency;
+  std::vector<std::int64_t> buckets(h.buckets().begin(), h.buckets().end());
+  put_signed_vector(out, buckets);
+  put_varint(out, h.max());
+  put_varint(out, h.sum());
   return image;
 }
 
@@ -183,6 +196,20 @@ SessionSnapshot SwapImage::unpack() const {
   t.node_misses = get_signed_vector(r);
 
   snapshot.steps = r.get_varint();
+
+  t.cost = r.get_varint();
+  const std::vector<std::int64_t> bucket_vec = get_signed_vector(r);
+  if (bucket_vec.size() != static_cast<std::size_t>(latency::Histogram::kBucketCount)) {
+    throw Error("corrupt swap image: bad histogram bucket count");
+  }
+  std::array<std::int64_t, latency::Histogram::kBucketCount> buckets{};
+  std::copy(bucket_vec.begin(), bucket_vec.end(), buckets.begin());
+  const std::int64_t max = r.get_varint();
+  const std::int64_t sum = r.get_varint();
+  // from_state re-validates the derived invariants (non-negative buckets,
+  // max in the topmost occupied bucket) and throws ccs::Error otherwise.
+  t.latency = latency::Histogram::from_state(buckets, max, sum);
+
   if (!r.exhausted()) throw Error("corrupt swap image: trailing bytes");
   return snapshot;
 }

@@ -13,7 +13,10 @@ ArrivalPattern steady_arrivals(std::int64_t per_tick) {
 }
 
 ArrivalPattern bursty_arrivals(std::int64_t burst, std::int64_t period) {
-  CCS_EXPECTS(burst >= 0, "burst size must be non-negative");
+  // A zero-size burst would be an arrival pattern that never delivers
+  // anything -- a silent misconfiguration (use steady_arrivals(0) to model
+  // an idle tenant on purpose).
+  CCS_EXPECTS(burst >= 1, "burst size must be at least one item");
   CCS_EXPECTS(period >= 1, "burst period must be at least one tick");
   return [burst, period](std::int64_t tick) { return tick % period == 0 ? burst : 0; };
 }

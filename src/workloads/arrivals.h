@@ -40,7 +40,9 @@ using ArrivalPattern = std::function<std::int64_t(std::int64_t tick)>;
 ArrivalPattern steady_arrivals(std::int64_t per_tick);
 
 /// `burst` items on every `period`-th tick (ticks 0, period, 2*period, ...),
-/// zero otherwise. Requires period >= 1.
+/// zero otherwise. Requires burst >= 1 (a never-delivering pattern is a
+/// misconfiguration; model an idle tenant with steady_arrivals(0)) and
+/// period >= 1.
 ArrivalPattern bursty_arrivals(std::int64_t burst, std::int64_t period);
 
 /// `per_tick` items during on-phases: `on` ticks flowing, `off` ticks

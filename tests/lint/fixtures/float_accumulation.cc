@@ -1,0 +1,27 @@
+// Fixture: float/double accumulation inside the latency layer. The rule
+// activates because this file declares namespace ccs::latency (fixtures
+// live outside src/latency/, so path matching alone would miss them).
+
+#include <cstdint>
+
+namespace ccs::latency {
+
+struct LossyStats {
+  double mean = 0.0;        // LINT-EXPECT(float-accumulation)
+  std::int64_t count = 0;   // integers are fine
+};
+
+inline void accumulate(LossyStats& s, std::int64_t sample) {
+  float weight = 1.0f;      // LINT-EXPECT(float-accumulation)
+  s.mean += static_cast<double>(sample) * weight;  // LINT-EXPECT(float-accumulation)
+  ++s.count;
+}
+
+// A deliberate, reviewed exception is spelled with the allowlist marker:
+// presentation-only conversion at the very edge of the layer.
+// ccs-lint: allow(float-accumulation)
+inline double mean_for_display(const LossyStats& s) {
+  return s.count == 0 ? 0.0 : s.mean / static_cast<double>(s.count);  // ccs-lint: allow(float-accumulation)
+}
+
+}  // namespace ccs::latency

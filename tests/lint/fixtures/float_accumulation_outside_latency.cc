@@ -1,0 +1,18 @@
+// Fixture (negative): float/double OUTSIDE the latency layer is not this
+// rule's business -- analysis and reporting code legitimately computes
+// ratios in double. This file neither lives under the latency source
+// directory nor declares the latency namespace, so the linter must stay
+// silent.
+
+#include <cstdint>
+
+namespace ccs::analysis {
+
+inline double misses_per_output(std::int64_t misses, std::int64_t outputs) {
+  if (outputs == 0) return 0.0;
+  return static_cast<double>(misses) / static_cast<double>(outputs);
+}
+
+inline float blend(float a, float b) { return 0.5f * (a + b); }
+
+}  // namespace ccs::analysis

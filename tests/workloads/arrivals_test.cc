@@ -92,6 +92,29 @@ TEST(Arrivals, RejectsDegenerateParameters) {
   EXPECT_THROW(phase_shift_arrivals(nullptr, 1), ContractViolation);
 }
 
+TEST(Arrivals, RejectsSilentPatternsWithClearErrors) {
+  // A burst of zero items or a zero-length on-phase describes a pattern that
+  // never delivers anything -- a silent misconfiguration, rejected with a
+  // message naming the offending parameter.
+  try {
+    bursty_arrivals(0, 16);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("burst size"), std::string::npos);
+  }
+  try {
+    on_off_arrivals(4, 0, 4);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("on-phase"), std::string::npos);
+  }
+  // Negative shapes are rejected by the same contracts, not just zero.
+  EXPECT_THROW(bursty_arrivals(-1, 16), ContractViolation);
+  EXPECT_THROW(on_off_arrivals(4, -2, 4), ContractViolation);
+  // A deliberately idle tenant still has a spelling: steady at rate zero.
+  EXPECT_EQ(total_arrivals(steady_arrivals(0), 32), 0);
+}
+
 TEST(ChurnTrace, EverySessionOpensPushesAndCloses) {
   ChurnOptions o;
   o.sessions = 100;

@@ -20,6 +20,10 @@ output.  This lint statically rejects the usual ways that property rots:
   uninit-serialized   a scalar member of a serialized struct (doc comment
                       mentioning pack/serialize/codec) with no initializer --
                       the packed image would leak indeterminate bytes
+  float-accumulation  float/double in the latency layer (src/latency/ by
+                      path, or any file declaring namespace ccs::latency) --
+                      histogram and cost accumulation must be exact integer
+                      arithmetic or percentiles drift across fold orders
 
 Findings print as `path:line: [rule] message`; the exit status is the number
 of findings (0 == clean).  A finding is suppressed by an allowlist marker on
@@ -78,6 +82,16 @@ LINE_RULES = [
     ),
 ]
 
+# Rules with bespoke logic below (not LINE_RULES); shared with the self-test
+# so the inventory stays in sync when a rule is added.
+EXTRA_RULES = ["unordered-iteration", "uninit-serialized", "float-accumulation"]
+
+# float-accumulation applies to the latency layer only: by path, or by
+# namespace for code (fixtures, vendored copies) living elsewhere.
+LATENCY_PATH_RE = re.compile(r"(?:^|[/\\])src[/\\]latency[/\\]")
+LATENCY_NS_RE = re.compile(r"namespace\s+ccs::latency\b")
+FLOAT_RE = re.compile(r"\b(?:float|double)\b")
+
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*>\s+(\w+)\s*[;{=(]"
 )
@@ -131,12 +145,22 @@ def lint_file(path: pathlib.Path) -> list[tuple[pathlib.Path, int, str, str]]:
         for m in UNORDERED_DECL_RE.finditer(code):
             unordered_names.add(m.group(1))
 
-    # Pass 2: line rules + unordered iteration.
+    # Pass 2: line rules + unordered iteration + latency-layer floats.
+    latency_layer = bool(
+        LATENCY_PATH_RE.search(str(path)) or LATENCY_NS_RE.search(text)
+    )
     for i, line in enumerate(lines):
         code = strip_comment(line)
         for rule, pattern, message in LINE_RULES:
             if pattern.search(code):
                 report(i, rule, message)
+        if latency_layer and FLOAT_RE.search(code):
+            report(
+                i,
+                "float-accumulation",
+                "float/double in the latency layer; histogram and cost "
+                "accumulation must be exact integer arithmetic",
+            )
         for pattern in (RANGE_FOR_RE, BEGIN_ITER_RE):
             for m in pattern.finditer(code):
                 if m.group(1) in unordered_names:
@@ -204,7 +228,7 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--list-rules", action="store_true", help="print rule names and exit")
     args = parser.parse_args(argv)
 
-    rule_names = [r for r, _, _ in LINE_RULES] + ["unordered-iteration", "uninit-serialized"]
+    rule_names = [r for r, _, _ in LINE_RULES] + EXTRA_RULES
     if args.list_rules:
         print("\n".join(rule_names))
         return 0

@@ -58,7 +58,7 @@ def main() -> int:
     # The rule inventory itself is part of the contract: at least six rules,
     # and every rule exercised by at least one fixture marker.
     rule_names = {r for r, _, _ in determinism_lint.LINE_RULES}
-    rule_names.update({"unordered-iteration", "uninit-serialized"})
+    rule_names.update(determinism_lint.EXTRA_RULES)
     if len(rule_names) < 6:
         errors.append(f"rule inventory shrank to {len(rule_names)} (< 6): {sorted(rule_names)}")
     exercised = set()
